@@ -1,0 +1,278 @@
+// ccsql — command-line driver for the table-driven protocol methodology.
+//
+//   ccsql tables [NAME] [--csv]       print controller tables
+//   ccsql sql "STMT[; STMT...]"       run SQL against the protocol database
+//   ccsql invariants [-v]             run the invariant suite
+//   ccsql deadlock [ASSIGNMENT]       virtual-channel deadlock analysis
+//   ccsql map                         section 5 hardware-mapping flow
+//   ccsql codegen TABLE [--casez]     emit controller code from an
+//                                     implementation table
+//   ccsql sim [ASSIGNMENT] [--fig4] [--quads N] [--txns N] [--seed N]
+//                                     table-driven simulation
+//   ccsql reach [ASSIGNMENT] [--quads N] [--addrs N] [--ops N]
+//                                     exhaustive exploration (baseline)
+//   ccsql flow                        the full push-button report
+//
+// All commands operate on the built-in ASURA reconstruction.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks/lint.hpp"
+#include "checks/reach.hpp"
+#include "core/flow.hpp"
+#include "mapping/codegen.hpp"
+#include "protocol/asura/asura.hpp"
+#include "relational/format.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace ccsql;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] bool has(const std::string& f) const {
+    for (const auto& x : flags) {
+      if (x == f) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] int value_of(const std::string& f, int fallback) const {
+    for (std::size_t i = 0; i + 1 < flags.size(); ++i) {
+      if (flags[i] == f) return std::stoi(flags[i + 1]);
+    }
+    return fallback;
+  }
+};
+
+int usage() {
+  std::cerr
+      << "usage: ccsql COMMAND [ARGS]\n"
+         "  tables [NAME] [--csv]    print controller tables\n"
+         "  sql \"STMT[; ...]\"        run SQL against the protocol database\n"
+         "  invariants [-v]          run the invariant suite\n"
+         "  deadlock [ASSIGNMENT]    deadlock analysis (default: all)\n"
+         "  map                      hardware-mapping flow\n"
+         "  codegen TABLE [--casez]  emit code from an implementation table\n"
+         "  sim [ASSIGNMENT] [--fig4] [--quads N] [--txns N] [--seed N]\n"
+         "  reach [ASSIGNMENT] [--quads N] [--addrs N] [--ops N]\n"
+         "  lint                     specification hygiene advisories\n"
+         "  flow                     full push-button report\n";
+  return 2;
+}
+
+int cmd_tables(const ProtocolSpec& spec, const Args& args) {
+  const Catalog& db = spec.database();
+  if (!args.positional.empty()) {
+    const Table& t = db.get(args.positional[0]);
+    std::cout << (args.has("--csv") ? to_csv(t) : to_ascii(t));
+    return 0;
+  }
+  for (const auto& c : spec.controllers()) {
+    const Table& t = db.get(c->name());
+    std::cout << c->name() << ": " << t.row_count() << " rows x "
+              << t.column_count() << " cols\n";
+  }
+  std::cout << "Messages: " << spec.messages().size() << " types\n";
+  return 0;
+}
+
+int cmd_sql(const ProtocolSpec& spec, const Args& args) {
+  if (args.positional.empty()) return usage();
+  // A private mutable copy of the database so CREATE/INSERT/DROP work.
+  Catalog db;
+  for (const auto& [name, table] : spec.database().tables()) {
+    db.put(name, table);
+  }
+  db.functions() = spec.database().functions();
+  std::stringstream statements(args.positional[0]);
+  std::string stmt;
+  while (std::getline(statements, stmt, ';')) {
+    if (stmt.find_first_not_of(" \t\n") == std::string::npos) continue;
+    Table result = db.execute(stmt);
+    if (result.column_count() > 0) std::cout << to_ascii(result);
+  }
+  return 0;
+}
+
+int cmd_invariants(const ProtocolSpec& spec, const Args& args) {
+  InvariantChecker checker(spec.database());
+  auto results = checker.check_all(spec.invariants());
+  std::cout << InvariantChecker::report(results, args.has("-v"));
+  return InvariantChecker::all_hold(results) ? 0 : 1;
+}
+
+int cmd_deadlock(const ProtocolSpec& spec, const Args& args) {
+  std::vector<ControllerTableRef> refs;
+  for (const auto& c : spec.controllers()) {
+    refs.push_back(
+        ControllerTableRef::from_spec(*c, spec.database().get(c->name())));
+  }
+  bool any_cycles = false;
+  for (const auto& a : spec.assignments()) {
+    if (!args.positional.empty() && a->name() != args.positional[0]) continue;
+    DeadlockAnalysis analysis(refs, *a);
+    std::cout << "=== assignment " << a->name() << " ===\n"
+              << analysis.report() << "\n";
+    any_cycles |= !analysis.deadlock_free();
+  }
+  return any_cycles ? 1 : 0;
+}
+
+int cmd_map(const ProtocolSpec& spec, const Args&) {
+  auto report = mapping::verify_directory_mapping(spec);
+  std::cout << "ED: " << report.ed_rows << " rows x " << report.ed_cols
+            << " cols\n";
+  for (const auto& [name, rows] : report.table_rows) {
+    std::cout << "  " << name << ": " << rows << " rows\n";
+  }
+  std::cout << "ED reconstructed: " << report.ed_reconstructed
+            << "\ndebugged table recovered: " << report.base_recovered
+            << "\ncontainment check: " << report.contains_debugged << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_codegen(const ProtocolSpec& spec, const Args& args) {
+  if (args.positional.empty()) return usage();
+  ControllerSpec ed_spec = mapping::make_extended_directory(spec);
+  const Table& ed = ed_spec.generate(&spec.database().functions());
+  auto parts = mapping::partition_directory(ed, spec.database().functions());
+  for (const auto& p : parts) {
+    if (p.name != args.positional[0]) continue;
+    const auto dialect = args.has("--casez") ? mapping::CodeDialect::kCasez
+                                             : mapping::CodeDialect::kCxx;
+    std::cout << mapping::generate_value_declarations(p.table, p.name)
+              << "\n"
+              << mapping::generate_code(p.table, p.name, dialect);
+    return 0;
+  }
+  std::cerr << "unknown implementation table: " << args.positional[0]
+            << " (try Request_remmsg, Response_dir, ...)\n";
+  return 2;
+}
+
+int cmd_sim(const ProtocolSpec& spec, const Args& args) {
+  const std::string assignment =
+      args.positional.empty() ? asura::kAssignV5Fix : args.positional[0];
+  sim::SimConfig cfg;
+  cfg.n_quads = args.value_of("--quads", 4);
+  cfg.n_addrs = cfg.n_quads * 2;
+  cfg.channel_capacity = args.value_of("--capacity", 2);
+  cfg.transactions_per_node = args.value_of("--txns", 100);
+  cfg.seed = static_cast<unsigned>(args.value_of("--seed", 1));
+  cfg.trace = args.has("--trace");
+
+  if (args.has("--fig4")) {
+    cfg.n_quads = 3;
+    cfg.n_addrs = 6;
+    cfg.channel_capacity = 1;
+    sim::Machine m(spec, spec.assignment(assignment), cfg);
+    m.set_memory_latency(16);
+    m.set_line(2, "MESI", {2});
+    m.set_line(5, "MESI", {0});
+    m.script(0, "pwb", 5);
+    m.script(1, "pwr", 2);
+    sim::SimResult r = m.run();
+    std::cout << "fig4 under " << assignment << ": "
+              << (r.deadlocked ? "DEADLOCK" : (r.completed ? "completed"
+                                                           : "stalled"))
+              << " in " << r.steps << " steps\n"
+              << r.deadlock_report;
+    return r.deadlocked ? 1 : 0;
+  }
+
+  sim::Machine m(spec, spec.assignment(assignment), cfg);
+  m.set_memory_latency(args.value_of("--latency", 2));
+  m.enable_random_workload();
+  sim::SimResult r = m.run();
+  std::cout << "completed=" << r.completed << " deadlocked=" << r.deadlocked
+            << " steps=" << r.steps << " transactions="
+            << r.transactions_done << " errors=" << r.errors.size() << "\n";
+  for (const auto& e : r.errors) std::cout << "  " << e << "\n";
+  if (r.deadlocked) std::cout << r.deadlock_report;
+  return r.healthy() ? 0 : 1;
+}
+
+int cmd_reach(const ProtocolSpec& spec, const Args& args) {
+  const std::string assignment =
+      args.positional.empty() ? asura::kAssignV5Fix : args.positional[0];
+  ReachConfig cfg;
+  cfg.n_quads = args.value_of("--quads", 2);
+  cfg.n_addrs = args.value_of("--addrs", 1);
+  cfg.ops_per_node = args.value_of("--ops", 2);
+  cfg.max_states =
+      static_cast<std::uint64_t>(args.value_of("--max-states", 2000000));
+  cfg.stop_at_first_deadlock = args.has("--first-deadlock");
+  ReachResult r = explore(spec, spec.assignment(assignment), cfg);
+  std::cout << "states=" << r.states << " transitions=" << r.transitions
+            << " complete=" << r.complete
+            << " deadlock_states=" << r.deadlock_states
+            << " violations=" << r.violations.size() << " ("
+            << r.seconds << "s)\n";
+  for (const auto& v : r.violations) std::cout << "  " << v << "\n";
+  if (r.deadlock_states > 0) std::cout << r.deadlock_example;
+  return r.verified() ? 0 : 1;
+}
+
+int cmd_lint(const ProtocolSpec& spec, const Args&) {
+  auto findings = lint(spec, asura::processor_sinks());
+  std::cout << lint_report(findings);
+  return 0;
+}
+
+int cmd_flow(const ProtocolSpec& spec, const Args&) {
+  Flow flow(spec);
+  FlowOptions opts;
+  opts.map_directory = true;
+  FlowReport report = flow.run(opts);
+  std::cout << report.summary();
+  std::cout << "debugged under " << asura::kAssignV5Fix << ": "
+            << report.debugged(asura::kAssignV5Fix) << "\n";
+  return report.debugged(asura::kAssignV5Fix) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      args.flags.emplace_back(argv[i]);
+      // A numeric flag value follows.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        char* end = nullptr;
+        (void)std::strtol(argv[i + 1], &end, 10);
+        if (end != argv[i + 1] && *end == '\0') {
+          args.flags.emplace_back(argv[++i]);
+        }
+      }
+    } else {
+      args.positional.emplace_back(argv[i]);
+    }
+  }
+
+  const std::string cmd = argv[1];
+  try {
+    auto spec = ccsql::asura::make_asura();
+    if (cmd == "tables") return cmd_tables(*spec, args);
+    if (cmd == "sql") return cmd_sql(*spec, args);
+    if (cmd == "invariants") return cmd_invariants(*spec, args);
+    if (cmd == "deadlock") return cmd_deadlock(*spec, args);
+    if (cmd == "map") return cmd_map(*spec, args);
+    if (cmd == "codegen") return cmd_codegen(*spec, args);
+    if (cmd == "sim") return cmd_sim(*spec, args);
+    if (cmd == "reach") return cmd_reach(*spec, args);
+    if (cmd == "lint") return cmd_lint(*spec, args);
+    if (cmd == "flow") return cmd_flow(*spec, args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

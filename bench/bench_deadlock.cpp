@@ -1,0 +1,116 @@
+// Experiments FIG4 / VCG (DESIGN.md): the section 4.1 deadlock analysis.
+//
+// Regenerates the paper's deadlock-detection results as data — cycles per
+// assignment (V4: several at home; V5: the Figure 4 VC2/VC4 cycle; V5fix:
+// none) — and times the construction of the protocol dependency table under
+// ablations: number of controllers, quad placements on/off, message-
+// ignoring relaxation on/off, composition rounds.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "checks/vcg.hpp"
+
+namespace {
+
+using namespace ccsql;
+using namespace ccsql::bench;
+
+std::vector<ControllerTableRef> all_tables() {
+  std::vector<ControllerTableRef> refs;
+  const ProtocolSpec& spec = asura_spec();
+  for (const auto& c : spec.controllers()) {
+    refs.push_back(ControllerTableRef::from_spec(
+        *c, spec.database().get(c->name())));
+  }
+  return refs;
+}
+
+void BM_AnalyseAssignment(benchmark::State& state, const char* assignment) {
+  auto refs = all_tables();
+  const ChannelAssignment& v = asura_spec().assignment(assignment);
+  std::size_t cycles = 0, rows = 0;
+  for (auto _ : state) {
+    DeadlockAnalysis analysis(refs, v);
+    cycles = analysis.cycles().size();
+    rows = analysis.protocol_rows().size();
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+  state.counters["dep_rows"] = static_cast<double>(rows);
+}
+BENCHMARK_CAPTURE(BM_AnalyseAssignment, V4, ccsql::asura::kAssignV4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_AnalyseAssignment, V5, ccsql::asura::kAssignV5)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_AnalyseAssignment, V5fix, ccsql::asura::kAssignV5Fix)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Cost scaling with the number of controller tables analysed.
+void BM_ControllerCountSweep(benchmark::State& state) {
+  auto refs = all_tables();
+  refs.resize(static_cast<std::size_t>(state.range(0)));
+  const ChannelAssignment& v = asura_spec().assignment(asura::kAssignV5);
+  for (auto _ : state) {
+    DeadlockAnalysis analysis(refs, v);
+    benchmark::DoNotOptimize(analysis);
+  }
+}
+BENCHMARK(BM_ControllerCountSweep)->DenseRange(1, 8)->Unit(benchmark::kMicrosecond);
+
+/// Ablations of the paper's two relaxations.
+void BM_Ablation(benchmark::State& state, bool placements, bool ignore_msgs,
+                 int rounds) {
+  auto refs = all_tables();
+  const ChannelAssignment& v = asura_spec().assignment(asura::kAssignV5);
+  DeadlockOptions opts;
+  opts.use_placements = placements;
+  opts.ignore_messages = ignore_msgs;
+  opts.composition_rounds = rounds;
+  std::size_t cycles = 0;
+  for (auto _ : state) {
+    DeadlockAnalysis analysis(refs, v, opts);
+    cycles = analysis.cycles().size();
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK_CAPTURE(BM_Ablation, full, true, true, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Ablation, no_placements, false, true, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Ablation, exact_match_only, true, false, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Ablation, no_composition, true, true, 0)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Ablation, fixpoint, true, true, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccsql;
+  using namespace ccsql::bench;
+  std::printf(
+      "# Experiment FIG4: cycles per assignment (paper: V4 several cycles at "
+      "home; V5 the VC2/VC4 cycle of Figure 4; V5fix none)\n");
+  auto refs = all_tables();
+  for (const char* a :
+       {asura::kAssignV4, asura::kAssignV5, asura::kAssignV5Fix}) {
+    DeadlockAnalysis analysis(refs, asura_spec().assignment(a));
+    std::printf("#   %-6s: %zu dependency rows, %zu edges, %zu cycle(s)",
+                a, analysis.protocol_rows().size(), analysis.edges().size(),
+                analysis.cycles().size());
+    if (!analysis.cycles().empty()) {
+      std::printf(" — first: ");
+      for (Value c : analysis.cycles().front().channels) {
+        std::printf("%s ", std::string(c.str()).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

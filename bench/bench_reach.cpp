@@ -1,0 +1,106 @@
+// Experiment REACH (DESIGN.md): the model-checking baseline.
+//
+// The paper (section 4.2) positions SQL static analysis against model
+// checkers: "Model checkers ... have a lot of reasoning power and can
+// detect such deadlocks.  However, to use these tools, the controller
+// tables need to be extensively abstracted to avoid the state explosion
+// problem."  This bench quantifies that: exhaustive explicit-state
+// exploration of the same table-driven protocol grows exponentially with
+// the configuration, while the complete SQL deadlock analysis stays at
+// milliseconds; both find the Figure 4 deadlock.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "checks/reach.hpp"
+#include "checks/vcg.hpp"
+
+namespace {
+
+using namespace ccsql;
+using namespace ccsql::bench;
+
+void BM_ExhaustiveExploration(benchmark::State& state) {
+  ReachConfig cfg;
+  cfg.n_quads = 2;
+  cfg.n_addrs = 1;
+  cfg.ops_per_node = static_cast<int>(state.range(0));
+  std::uint64_t states = 0;
+  bool ok = false;
+  for (auto _ : state) {
+    ReachResult r =
+        explore(asura_spec(), asura_spec().assignment(asura::kAssignV5Fix),
+                cfg);
+    states = r.states;
+    ok = r.verified();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["verified"] = ok ? 1 : 0;
+}
+BENCHMARK(BM_ExhaustiveExploration)->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TimeToFigure4Witness(benchmark::State& state) {
+  ReachConfig cfg;
+  cfg.n_quads = 2;
+  cfg.n_addrs = 3;
+  cfg.ops_per_node = 2;
+  cfg.stop_at_first_deadlock = true;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    ReachResult r =
+        explore(asura_spec(), asura_spec().assignment(asura::kAssignV5), cfg);
+    states = r.states;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states_to_witness"] = static_cast<double>(states);
+}
+BENCHMARK(BM_TimeToFigure4Witness)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SqlAnalysisForComparison(benchmark::State& state) {
+  std::vector<ControllerTableRef> refs;
+  for (const auto& c : asura_spec().controllers()) {
+    refs.push_back(ControllerTableRef::from_spec(
+        *c, asura_spec().database().get(c->name())));
+  }
+  std::size_t cycles = 0;
+  for (auto _ : state) {
+    DeadlockAnalysis analysis(refs,
+                              asura_spec().assignment(asura::kAssignV5));
+    cycles = analysis.cycles().size();
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_SqlAnalysisForComparison)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccsql;
+  using namespace ccsql::bench;
+  std::printf("# Experiment REACH: state explosion vs SQL static analysis\n");
+  std::printf("# config (quads,addrs,ops) -> states (V5fix, complete?)\n");
+  for (auto [q, a, o] : {std::tuple{1, 1, 1}, {2, 1, 1}, {2, 1, 2},
+                         {2, 2, 2}}) {
+    ReachConfig cfg;
+    cfg.n_quads = q;
+    cfg.n_addrs = a;
+    cfg.ops_per_node = o;
+    cfg.max_states = 1'000'000;
+    ReachResult r =
+        explore(asura_spec(), asura_spec().assignment(asura::kAssignV5Fix),
+                cfg);
+    std::printf("#   (%d,%d,%d): %llu states, %s, %.2fs\n", q, a, o,
+                static_cast<unsigned long long>(r.states),
+                r.complete ? "complete" : "TRUNCATED", r.seconds);
+  }
+  std::printf("# the SQL deadlock analysis of the same tables is complete "
+              "in ~2 ms (below)\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

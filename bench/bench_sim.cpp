@@ -1,0 +1,117 @@
+// Experiment SIM (DESIGN.md): dynamic validation of the protocol tables.
+//
+// Shows, as data, that the Figure 4 deadlock is real: under V5 the scripted
+// interleaving wedges (and randomized workloads with small channels wedge
+// with measurable probability), while under V5fix every run completes.
+// Also reports simulator throughput (transactions per second) as the
+// substrate cost of this validation step.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace ccsql;
+using namespace ccsql::bench;
+using namespace ccsql::sim;
+
+SimResult run_fig4(const char* assignment) {
+  SimConfig cfg;
+  cfg.n_quads = 3;
+  cfg.n_addrs = 6;
+  cfg.channel_capacity = 1;
+  Machine m(asura_spec(), asura_spec().assignment(assignment), cfg);
+  m.set_memory_latency(16);
+  m.set_line(2, "MESI", {2});
+  m.set_line(5, "MESI", {0});
+  m.script(0, "pwb", 5);
+  m.script(1, "pwr", 2);
+  return m.run();
+}
+
+void BM_Fig4Scenario(benchmark::State& state, const char* assignment) {
+  std::uint64_t deadlocks = 0, runs = 0;
+  for (auto _ : state) {
+    SimResult r = run_fig4(assignment);
+    ++runs;
+    if (r.deadlocked) ++deadlocks;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["deadlock_rate"] =
+      runs ? static_cast<double>(deadlocks) / static_cast<double>(runs) : 0;
+}
+BENCHMARK_CAPTURE(BM_Fig4Scenario, V5, ccsql::asura::kAssignV5)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Fig4Scenario, V5fix, ccsql::asura::kAssignV5Fix)
+    ->Unit(benchmark::kMicrosecond);
+
+SimResult run_random(const char* assignment, unsigned seed, int txns,
+                     int capacity) {
+  SimConfig cfg;
+  cfg.n_quads = 4;
+  cfg.n_addrs = 8;
+  cfg.channel_capacity = capacity;
+  cfg.transactions_per_node = txns;
+  cfg.seed = seed;
+  Machine m(asura_spec(), asura_spec().assignment(assignment), cfg);
+  m.set_memory_latency(3);
+  m.enable_random_workload();
+  return m.run();
+}
+
+void BM_RandomWorkloadThroughput(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  std::uint64_t total_txns = 0;
+  unsigned seed = 1;
+  for (auto _ : state) {
+    SimResult r = run_random(ccsql::asura::kAssignV5Fix, seed++, txns, 2);
+    total_txns += static_cast<std::uint64_t>(r.transactions_done);
+    if (!r.completed || !r.errors.empty()) {
+      state.SkipWithError("unhealthy run");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["txns/s"] = benchmark::Counter(
+      static_cast<double>(total_txns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RandomWorkloadThroughput)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccsql;
+  using namespace ccsql::bench;
+  std::printf("# Experiment SIM: Figure 4 deadlock, dynamically\n");
+  for (const char* a : {asura::kAssignV5, asura::kAssignV5Fix}) {
+    SimResult r = run_fig4(a);
+    std::printf("#   fig4 under %-6s: %s in %llu steps\n", a,
+                r.deadlocked ? "DEADLOCK" : (r.completed ? "completed"
+                                                          : "stalled"),
+                static_cast<unsigned long long>(r.steps));
+  }
+  // Deadlock manifestation rate across random seeds, by channel capacity:
+  // deeper channels hide the Figure 4 wedge from random testing, which is
+  // why the static analysis matters.
+  for (int cap : {1, 2, 4}) {
+    for (const char* a : {asura::kAssignV5, asura::kAssignV5Fix}) {
+      int deadlocked = 0, unhealthy = 0;
+      const int kRuns = 60;
+      for (unsigned seed = 1; seed <= kRuns; ++seed) {
+        SimResult r = run_random(a, seed, 40, cap);
+        if (r.deadlocked) ++deadlocked;
+        if (!r.errors.empty()) ++unhealthy;
+      }
+      std::printf("#   random (cap=%d, 60 seeds) under %-6s: %d/%d runs "
+                  "deadlock, %d coherence violations\n",
+                  cap, a, deadlocked, kRuns, unhealthy);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

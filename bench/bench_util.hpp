@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared helpers for the benchmark binaries: a process-wide ASURA spec (the
+// protocol is immutable; generation is benchmarked separately against fresh
+// specs) and a prefix-restricted GenerationInput used by the incremental /
+// monolithic sweeps.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "protocol/asura/asura.hpp"
+#include "solver/generator.hpp"
+
+namespace ccsql::bench {
+
+inline const ProtocolSpec& asura_spec() {
+  static const std::unique_ptr<ProtocolSpec> spec = asura::make_asura();
+  return *spec;
+}
+
+/// The generation input of controller `name` restricted to its first
+/// `columns` columns, keeping exactly the constraints whose referenced
+/// columns all fall in that prefix.  This is how the monolithic-vs-
+/// incremental sweep scales the problem (the full 30-column D is far beyond
+/// monolithic reach — the paper's "6 hours" grows without bound here).
+inline GenerationInput prefix_input(const ProtocolSpec& spec,
+                                    const char* name, std::size_t columns) {
+  const ControllerSpec& c = spec.controller(name);
+  const GenerationInput& full =
+      c.generation_input(&spec.database().functions());
+  GenerationInput out;
+  std::vector<Column> cols;
+  for (std::size_t i = 0; i < columns && i < full.schema->size(); ++i) {
+    cols.push_back(full.schema->column(i));
+    out.domains.push_back(full.domains[i]);
+  }
+  out.schema = make_schema(std::move(cols));
+  for (const auto& constraint : full.constraints) {
+    bool applicable = out.schema->has(constraint.column);
+    for (const auto& ref :
+         constraint.expr.referenced_columns(*full.schema)) {
+      if (!out.schema->has(ref)) applicable = false;
+    }
+    if (applicable) out.constraints.push_back(constraint);
+  }
+  out.functions = full.functions;
+  return out;
+}
+
+/// The prefix input with its column order reversed: constraints now bind as
+/// late as possible, so incremental generation loses most of its pruning —
+/// the ablation behind the paper's "inputs first, then one output column at
+/// a time" ordering advice.
+inline GenerationInput reversed_prefix_input(const ProtocolSpec& spec,
+                                             const char* name,
+                                             std::size_t columns) {
+  GenerationInput in = prefix_input(spec, name, columns);
+  std::vector<Column> cols;
+  for (std::size_t i = in.schema->size(); i-- > 0;) {
+    cols.push_back(in.schema->column(i));
+  }
+  std::reverse(in.domains.begin(), in.domains.end());
+  in.schema = make_schema(std::move(cols));
+  return in;
+}
+
+}  // namespace ccsql::bench

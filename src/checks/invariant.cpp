@@ -1,0 +1,64 @@
+#include "checks/invariant.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "relational/format.hpp"
+#include "relational/parser.hpp"
+
+namespace ccsql {
+
+InvariantResult InvariantChecker::check(const NamedInvariant& inv) const {
+  const auto start = std::chrono::steady_clock::now();
+  InvariantResult result;
+  result.name = inv.name;
+  result.holds = true;
+  for (const SelectStmt& stmt : parse_invariant(inv.sql)) {
+    Table rows = db_->run(stmt);
+    if (rows.row_count() != 0) {
+      result.holds = false;
+      result.violations.push_back(std::move(rows));
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.micros =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  return result;
+}
+
+std::vector<InvariantResult> InvariantChecker::check_all(
+    const std::vector<NamedInvariant>& suite) const {
+  std::vector<InvariantResult> out;
+  out.reserve(suite.size());
+  for (const auto& inv : suite) out.push_back(check(inv));
+  return out;
+}
+
+bool InvariantChecker::all_hold(const std::vector<InvariantResult>& results) {
+  for (const auto& r : results) {
+    if (!r.holds) return false;
+  }
+  return true;
+}
+
+std::string InvariantChecker::report(
+    const std::vector<InvariantResult>& results, bool verbose) {
+  std::ostringstream os;
+  std::size_t failed = 0;
+  double total_us = 0.0;
+  for (const auto& r : results) {
+    total_us += r.micros;
+    if (!r.holds) ++failed;
+    if (verbose || !r.holds) {
+      os << (r.holds ? "PASS " : "FAIL ") << r.name << "\n";
+      for (const auto& t : r.violations) {
+        os << to_ascii(t, 10);
+      }
+    }
+  }
+  os << results.size() << " invariants, " << failed << " violated, "
+     << static_cast<long>(total_us) << " us total\n";
+  return os.str();
+}
+
+}  // namespace ccsql

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protocol/protocol_spec.hpp"
+#include "relational/query.hpp"
+
+namespace ccsql {
+
+/// Result of checking one invariant: whether it holds, the violating rows
+/// of every failing emptiness check, and the time spent.
+struct InvariantResult {
+  std::string name;
+  bool holds = false;
+  std::vector<Table> violations;  // one per failing SELECT
+  double micros = 0.0;
+};
+
+/// Runs named SQL invariants against a catalog of controller tables
+/// (paper, section 4.3).
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const Catalog& db) : db_(&db) {}
+
+  /// Checks one invariant; never throws on violation (only on malformed
+  /// SQL).
+  [[nodiscard]] InvariantResult check(const NamedInvariant& inv) const;
+
+  /// Checks a whole suite.
+  [[nodiscard]] std::vector<InvariantResult> check_all(
+      const std::vector<NamedInvariant>& suite) const;
+
+  /// True iff all results hold.
+  static bool all_hold(const std::vector<InvariantResult>& results);
+
+  /// Human-readable summary (one line per invariant + violation tables).
+  static std::string report(const std::vector<InvariantResult>& results,
+                            bool verbose = false);
+
+ private:
+  const Catalog* db_;
+};
+
+}  // namespace ccsql

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protocol/protocol_spec.hpp"
+
+namespace ccsql {
+
+/// A specification-hygiene finding.  Lint findings are advisories, not
+/// errors: a value declared in a column table but never produced by the
+/// constraints usually means a stale domain or a forgotten transition —
+/// the kind of drift the paper's teams reviewed on every table revision.
+struct LintFinding {
+  enum class Kind {
+    kUnusedDomainValue,   // value legal in a column but in no row
+    kUnconstrainedOutput, // output column with no constraint at all
+    kUnusedMessage,       // catalogued message never appears in any table
+    kUnconsumedMessage,   // message produced but consumed by no controller
+  };
+  Kind kind;
+  std::string controller;  // empty for catalog-level findings
+  std::string column;      // for column-level findings
+  std::string value;       // the offending value / message
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs all hygiene checks over the generated tables of `spec`.
+/// `sinks` lists messages legitimately consumed outside the controller
+/// tables (processor/device-facing responses).
+std::vector<LintFinding> lint(
+    const ProtocolSpec& spec,
+    const std::vector<std::string>& sinks = {});
+
+/// Renders findings one per line.
+std::string lint_report(const std::vector<LintFinding>& findings);
+
+}  // namespace ccsql

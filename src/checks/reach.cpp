@@ -1,0 +1,93 @@
+#include "checks/reach.hpp"
+
+#include <chrono>
+#include <deque>
+#include <unordered_set>
+
+#include "sim/machine.hpp"
+
+namespace ccsql {
+
+ReachResult explore(const ProtocolSpec& spec, const ChannelAssignment& v,
+                    const ReachConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n_quads = config.n_quads;
+  sim_cfg.n_addrs = config.n_addrs;
+  sim_cfg.channel_capacity = config.channel_capacity;
+  sim_cfg.transactions_per_node = config.ops_per_node;
+
+  sim::Machine machine(spec, v, sim_cfg);
+  machine.enable_random_workload();  // sets the per-node injection budget
+
+  ReachResult result;
+  std::unordered_set<std::string> visited;
+  std::unordered_set<std::string> violations_seen;
+  std::deque<sim::Machine::Snapshot> frontier;
+
+  visited.insert(machine.fingerprint());
+  frontier.push_back(machine.snapshot());
+  result.states = 1;
+  result.complete = true;
+
+  while (!frontier.empty()) {
+    if (result.states >= config.max_states) {
+      result.complete = false;
+      break;
+    }
+    sim::Machine::Snapshot state = std::move(frontier.front());
+    frontier.pop_front();
+
+    machine.restore(state);
+    const auto actions = machine.possible_actions();
+    bool any_fired = false;
+    for (const auto& action : actions) {
+      machine.restore(state);
+      machine.clear_errors();
+      if (!machine.apply_action(action)) continue;  // blocked channel
+      any_fired = true;
+      ++result.transitions;
+      for (const auto& e : machine.errors()) {
+        if (violations_seen.insert(e).second) {
+          result.violations.push_back(e + "  [after " + action.to_string() +
+                                      "]");
+        }
+      }
+      const std::string fp = machine.fingerprint();
+      if (visited.insert(fp).second) {
+        ++result.states;
+        frontier.push_back(machine.snapshot());
+      }
+    }
+
+    if (!any_fired) {
+      // Terminal state: quiescent-and-done is fine; anything else with
+      // messages in flight is a global deadlock.
+      machine.restore(state);
+      if (!machine.quiescent()) {
+        if (result.deadlock_states++ == 0) {
+          result.deadlock_example = machine.describe_network();
+          if (config.stop_at_first_deadlock) {
+            result.complete = false;
+            break;
+          }
+        }
+      } else {
+        // Quiescent terminal state: run the directory/cache agreement
+        // check the simulator applies at completion.
+        for (const auto& e : machine.check_quiescent_state()) {
+          if (violations_seen.insert(e).second) {
+            result.violations.push_back(e + "  [terminal state]");
+          }
+        }
+      }
+    }
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace ccsql

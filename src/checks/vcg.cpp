@@ -1,0 +1,300 @@
+#include "checks/vcg.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relational/error.hpp"
+
+namespace ccsql {
+
+ControllerTableRef ControllerTableRef::from_spec(const ControllerSpec& spec,
+                                                 const Table& table) {
+  ControllerTableRef ref;
+  ref.name = spec.name();
+  ref.table = &table;
+  const MessageTriple* in = spec.input_triple();
+  if (in == nullptr) {
+    throw Error("controller " + spec.name() + " declares no input triple");
+  }
+  ref.input = *in;
+  ref.outputs = spec.output_triples();
+  return ref;
+}
+
+std::string DependencyRow::key() const {
+  std::string k;
+  for (Value v : {m1, s1, d1, v1, m2, s2, d2, v2}) {
+    k += v.str();
+    k += '|';
+  }
+  return k;
+}
+
+std::string VcgCycle::to_string() const {
+  std::ostringstream os;
+  os << "cycle:";
+  for (Value c : channels) os << ' ' << c.str();
+  os << " -> " << channels.front().str() << '\n';
+  for (const auto& w : witnesses) {
+    os << "  (" << w.m1.str() << ", " << w.s1.str() << ", " << w.d1.str()
+       << ", " << w.v1.str() << ") -> (" << w.m2.str() << ", " << w.s2.str()
+       << ", " << w.d2.str() << ", " << w.v2.str() << ")  [" << w.origin
+       << "]\n";
+  }
+  return os.str();
+}
+
+DeadlockAnalysis::DeadlockAnalysis(std::vector<ControllerTableRef> tables,
+                                   const ChannelAssignment& v,
+                                   DeadlockOptions options)
+    : options_(options) {
+  build_controller_rows(tables, v);
+  compose();
+  build_graph();
+  find_cycles();
+}
+
+void DeadlockAnalysis::build_controller_rows(
+    const std::vector<ControllerTableRef>& tables,
+    const ChannelAssignment& v) {
+  std::vector<QuadPlacement> placements;
+  if (options_.use_placements) {
+    placements.assign(kAllPlacements.begin(), kAllPlacements.end());
+  } else {
+    placements.push_back(QuadPlacement::kAllDistinct);
+  }
+
+  // Deduplicate per placement: identical role-substituted rows from
+  // different table rows carry the same dependency.
+  std::unordered_set<std::string> seen;
+
+  for (QuadPlacement placement : placements) {
+    for (const auto& ref : tables) {
+      const Table& t = *ref.table;
+      const Schema& schema = t.schema();
+      const std::size_t im = schema.index_of(ref.input.msg);
+      const std::size_t is = schema.index_of(ref.input.src);
+      const std::size_t id = schema.index_of(ref.input.dst);
+      for (std::size_t r = 0; r < t.row_count(); ++r) {
+        const Value m1 = t.at(r, im);
+        if (m1.is_null()) continue;
+        const Value s1 = t.at(r, is), d1 = t.at(r, id);
+        // The channel is assigned by the original roles; the placement
+        // substitution is applied afterwards (paper: the extended tables
+        // are modified per placement).
+        const auto vc1 = v.vc_for(m1, s1, d1);
+        if (!vc1) continue;
+        for (const auto& out : ref.outputs) {
+          const Value m2 = t.at(r, schema.index_of(out.msg));
+          if (m2.is_null()) continue;
+          const Value s2 = t.at(r, schema.index_of(out.src));
+          const Value d2 = t.at(r, schema.index_of(out.dst));
+          const auto vc2 = v.vc_for(m2, s2, d2);
+          if (!vc2) continue;  // dedicated path: no channel dependency
+          DependencyRow row;
+          row.m1 = m1;
+          row.s1 = place_role(placement, s1);
+          row.d1 = place_role(placement, d1);
+          row.v1 = *vc1;
+          row.m2 = m2;
+          row.s2 = place_role(placement, s2);
+          row.d2 = place_role(placement, d2);
+          row.v2 = *vc2;
+          row.placement = placement;
+          row.origin = ref.name + "#" + std::to_string(r) + " [" +
+                       std::string(to_string(placement)) + "]";
+          const std::string k =
+              row.key() + std::string(to_string(placement));
+          if (seen.insert(k).second) {
+            controller_rows_.push_back(std::move(row));
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Composition index key: (s, d, v) of an assignment, optionally with the
+/// message (exact matching).
+std::uint64_t sdv_key(Value s, Value d, Value v) {
+  return (static_cast<std::uint64_t>(s.id()) << 42) ^
+         (static_cast<std::uint64_t>(d.id()) << 21) ^ v.id();
+}
+
+}  // namespace
+
+void DeadlockAnalysis::compose() {
+  // Start the protocol dependency table with the controller rows.
+  std::unordered_set<std::string> seen;
+  for (const auto& row : controller_rows_) {
+    if (seen.insert(row.key()).second) protocol_rows_.push_back(row);
+  }
+
+  std::vector<DependencyRow> frontier = controller_rows_;
+  for (int round = 0; round < options_.composition_rounds; ++round) {
+    // Index the current rows by the (s, d, v) of their *input* assignment,
+    // per placement, for relaxed matching; exact matching additionally
+    // compares the message.
+    std::unordered_map<std::uint64_t, std::vector<const DependencyRow*>>
+        by_input;
+    auto placement_key = [](const DependencyRow& r, std::uint64_t base) {
+      return base * 31 + static_cast<std::uint64_t>(r.placement);
+    };
+    for (const auto& row : protocol_rows_) {
+      by_input[placement_key(row, sdv_key(row.s1, row.d1, row.v1))]
+          .push_back(&row);
+    }
+
+    std::vector<DependencyRow> fresh;
+    for (const auto& r : frontier) {
+      auto it = by_input.find(placement_key(r, sdv_key(r.s2, r.d2, r.v2)));
+      if (it == by_input.end()) continue;
+      for (const DependencyRow* s : it->second) {
+        const bool exact = s->m1 == r.m2;
+        if (!exact && !options_.ignore_messages) continue;
+        DependencyRow composed;
+        composed.m1 = r.m1;
+        composed.s1 = r.s1;
+        composed.d1 = r.d1;
+        composed.v1 = r.v1;
+        composed.m2 = s->m2;
+        composed.s2 = s->s2;
+        composed.d2 = s->d2;
+        composed.v2 = s->v2;
+        composed.placement = r.placement;
+        composed.composed = true;
+        composed.ignored_message = !exact;
+        composed.origin = "compose(" + r.origin + " ; " + s->origin + ")" +
+                          (exact ? "" : " ignoring message");
+        if (seen.insert(composed.key()).second) {
+          fresh.push_back(composed);
+        }
+      }
+    }
+    if (fresh.empty()) break;
+    protocol_rows_.insert(protocol_rows_.end(), fresh.begin(), fresh.end());
+    frontier = std::move(fresh);
+  }
+}
+
+void DeadlockAnalysis::build_graph() {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < protocol_rows_.size(); ++i) {
+    const auto& r = protocol_rows_[i];
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(r.v1.id()) << 32) | r.v2.id();
+    if (seen.insert(k).second) {
+      edges_.push_back(Edge{r.v1, r.v2, i});
+    }
+  }
+}
+
+void DeadlockAnalysis::find_cycles() {
+  // Collect nodes.
+  std::vector<Value> nodes;
+  auto node_index = [&](Value v) -> std::size_t {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == v) return i;
+    }
+    nodes.push_back(v);
+    return nodes.size() - 1;
+  };
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj;  // (to, edge)
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const std::size_t a = node_index(edges_[e].from);
+    const std::size_t b = node_index(edges_[e].to);
+    if (adj.size() < nodes.size()) adj.resize(nodes.size());
+    adj[a].push_back({b, e});
+  }
+  adj.resize(nodes.size());
+
+  // Enumerate simple cycles: DFS from each start node, visiting only nodes
+  // with index >= start, closing back to start.  The channel graph is tiny
+  // (a handful of virtual channels), so this is exact and cheap.
+  std::vector<std::size_t> path;       // node indices
+  std::vector<std::size_t> path_edges;  // edge indices
+  std::vector<bool> on_path(nodes.size(), false);
+
+  auto emit = [&](std::size_t closing_edge) {
+    if (cycles_.size() >= options_.max_cycles) return;
+    VcgCycle cycle;
+    for (std::size_t n : path) cycle.channels.push_back(nodes[n]);
+    for (std::size_t e : path_edges) {
+      cycle.witnesses.push_back(protocol_rows_[edges_[e].witness]);
+    }
+    cycle.witnesses.push_back(protocol_rows_[edges_[closing_edge].witness]);
+    cycles_.push_back(std::move(cycle));
+  };
+
+  std::size_t start = 0;
+  std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+    if (cycles_.size() >= options_.max_cycles) return;
+    for (const auto& [w, e] : adj[u]) {
+      if (w == start) {
+        emit(e);
+      } else if (w > start && !on_path[w]) {
+        on_path[w] = true;
+        path.push_back(w);
+        path_edges.push_back(e);
+        dfs(w);
+        path_edges.pop_back();
+        path.pop_back();
+        on_path[w] = false;
+      }
+    }
+  };
+
+  for (start = 0; start < nodes.size(); ++start) {
+    on_path[start] = true;
+    path = {start};
+    path_edges.clear();
+    dfs(start);
+    on_path[start] = false;
+  }
+}
+
+Table DeadlockAnalysis::protocol_dependency_table() const {
+  Table t(Schema::of({"m1", "s1", "d1", "v1", "m2", "s2", "d2", "v2"}));
+  t.reserve_rows(protocol_rows_.size());
+  for (const auto& r : protocol_rows_) {
+    t.append({r.m1, r.s1, r.d1, r.v1, r.m2, r.s2, r.d2, r.v2});
+  }
+  return t.distinct();
+}
+
+std::vector<Value> DeadlockAnalysis::cyclic_channels() const {
+  std::vector<Value> out;
+  for (const auto& c : cycles_) {
+    for (Value v : c.channels) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::string DeadlockAnalysis::report() const {
+  std::ostringstream os;
+  os << "protocol dependency table: " << protocol_rows_.size() << " rows ("
+     << controller_rows_.size() << " from controllers)\n";
+  os << "VCG edges:";
+  for (const auto& e : edges_) {
+    os << ' ' << e.from.str() << "->" << e.to.str();
+  }
+  os << '\n';
+  if (cycles_.empty()) {
+    os << "no cycles: assignment is deadlock-free\n";
+  } else {
+    os << cycles_.size() << " cycle(s) found:\n";
+    for (const auto& c : cycles_) os << c.to_string();
+  }
+  return os.str();
+}
+
+}  // namespace ccsql

@@ -1,0 +1,101 @@
+#include "core/flow.hpp"
+
+#include <chrono>
+#include <algorithm>
+#include <sstream>
+
+namespace ccsql {
+
+bool FlowReport::invariants_hold() const {
+  return InvariantChecker::all_hold(invariants);
+}
+
+bool FlowReport::deadlock_free(std::string_view assignment) const {
+  for (const auto& a : assignments) {
+    if (!assignment.empty() && a.name != assignment) continue;
+    if (!a.cycles.empty()) return false;
+  }
+  return true;
+}
+
+bool FlowReport::debugged(std::string_view assignment) const {
+  return invariants_hold() && deadlock_free(assignment) &&
+         (!mapping_ran || mapping.ok());
+}
+
+std::string FlowReport::summary() const {
+  std::ostringstream os;
+  os << "controller tables:\n";
+  for (const auto& t : tables) {
+    os << "  " << t.name << ": " << t.rows << " rows x " << t.cols
+       << " cols (" << static_cast<long>(t.gen_micros) << " us)\n";
+  }
+  std::size_t violated = 0;
+  for (const auto& r : invariants) {
+    if (!r.holds) ++violated;
+  }
+  os << "invariants: " << invariants.size() << " checked, " << violated
+     << " violated\n";
+  for (const auto& a : assignments) {
+    os << "assignment " << a.name << ": " << a.dependency_rows
+       << " dependency rows, " << a.edges << " VCG edges, " << a.cycles.size()
+       << " cycle(s)\n";
+  }
+  if (mapping_ran) {
+    os << "hardware mapping: ED " << mapping.ed_rows << " rows, "
+       << mapping.table_rows.size() << " implementation tables, "
+       << (mapping.ok() ? "verified" : "FAILED") << "\n";
+  }
+  return os.str();
+}
+
+FlowReport Flow::run(const FlowOptions& options) const {
+  FlowReport report;
+
+  // 1. Generate the controller tables (paper, section 3).
+  for (const auto& c : spec_->controllers()) {
+    const auto start = std::chrono::steady_clock::now();
+    c->invalidate();
+    const Table& t = c->generate(&spec_->database().functions());
+    const auto end = std::chrono::steady_clock::now();
+    report.tables.push_back(FlowReport::TableInfo{
+        c->name(), t.row_count(), t.column_count(),
+        std::chrono::duration<double, std::micro>(end - start).count()});
+  }
+
+  // 2. Static checks: invariants (section 4.3).
+  if (options.check_invariants) {
+    InvariantChecker checker(spec_->database());
+    report.invariants = checker.check_all(spec_->invariants());
+  }
+
+  // 3. Static checks: deadlocks per channel assignment (section 4.1).
+  std::vector<ControllerTableRef> refs;
+  for (const auto& c : spec_->controllers()) {
+    refs.push_back(ControllerTableRef::from_spec(
+        *c, spec_->database().get(c->name())));
+  }
+  for (const auto& a : spec_->assignments()) {
+    if (!options.assignments.empty() &&
+        std::find(options.assignments.begin(), options.assignments.end(),
+                  a->name()) == options.assignments.end()) {
+      continue;
+    }
+    DeadlockAnalysis analysis(refs, *a, options.vcg);
+    FlowReport::AssignmentResult result;
+    result.name = a->name();
+    result.dependency_rows = analysis.protocol_rows().size();
+    result.edges = analysis.edges().size();
+    result.cycles = analysis.cycles();
+    report.assignments.push_back(std::move(result));
+  }
+
+  // 4. Hardware mapping (section 5).
+  if (options.map_directory) {
+    report.mapping = mapping::verify_directory_mapping(*spec_);
+    report.mapping_ran = true;
+  }
+  return report;
+}
+
+}  // namespace ccsql

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checks/invariant.hpp"
+#include "checks/vcg.hpp"
+#include "mapping/asura_map.hpp"
+#include "protocol/protocol_spec.hpp"
+
+namespace ccsql {
+
+/// Options for one run of the methodology flow.
+struct FlowOptions {
+  bool check_invariants = true;
+  /// Channel assignments to analyse for deadlocks; empty = all of the
+  /// spec's assignments.
+  std::vector<std::string> assignments;
+  DeadlockOptions vcg;
+  /// Run the section 5 hardware-mapping flow for the directory controller
+  /// (ASURA-shaped specs only: requires a controller named "D").
+  bool map_directory = false;
+};
+
+/// Everything one run of the flow produced: per-table generation stats,
+/// invariant results, per-assignment cycle reports and (optionally) the
+/// hardware-mapping verification.
+struct FlowReport {
+  struct TableInfo {
+    std::string name;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    double gen_micros = 0.0;
+  };
+
+  std::vector<TableInfo> tables;
+  std::vector<InvariantResult> invariants;
+  struct AssignmentResult {
+    std::string name;
+    std::size_t dependency_rows = 0;
+    std::size_t edges = 0;
+    std::vector<VcgCycle> cycles;
+  };
+  std::vector<AssignmentResult> assignments;
+  mapping::MappingReport mapping;
+  bool mapping_ran = false;
+
+  /// True iff every invariant holds.
+  [[nodiscard]] bool invariants_hold() const;
+
+  /// True iff the named assignment (or all analysed ones) is cycle-free.
+  [[nodiscard]] bool deadlock_free(std::string_view assignment = "") const;
+
+  /// The paper's acceptance criterion for an enhanced architecture
+  /// specification: tables generated, all invariants hold, the chosen
+  /// assignment is deadlock-free, and (when run) the mapping round-trips.
+  [[nodiscard]] bool debugged(std::string_view assignment) const;
+
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The push-button methodology of the paper: from a protocol spec
+/// ("database input": schemas, constraints, checks) to debugged tables and
+/// verified implementation tables.
+class Flow {
+ public:
+  explicit Flow(const ProtocolSpec& spec) : spec_(&spec) {}
+
+  [[nodiscard]] FlowReport run(const FlowOptions& options = {}) const;
+
+ private:
+  const ProtocolSpec* spec_;
+};
+
+}  // namespace ccsql

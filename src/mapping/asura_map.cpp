@@ -1,0 +1,225 @@
+#include "mapping/asura_map.hpp"
+
+#include <algorithm>
+
+#include "mapping/extend.hpp"
+#include "protocol/asura/asura.hpp"
+#include "relational/error.hpp"
+
+namespace ccsql::mapping {
+namespace {
+
+/// The input columns of ED, in schema order (base inputs then the
+/// implementation inputs).
+std::vector<std::string> ed_input_columns(const Table& ed) {
+  std::vector<std::string> out;
+  for (const auto& col : ed.schema().columns()) {
+    if (col.kind == ColumnKind::kInput) out.push_back(col.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<OutputGroup>& directory_output_groups() {
+  static const std::vector<OutputGroup> kGroups = {
+      {"locmsg", {"locmsg", "locmsgsrc", "locmsgdest", "locmsgres", "cmpl"}},
+      {"remmsg", {"remmsg", "remmsgsrc", "remmsgdest", "remmsgres"}},
+      {"memmsg", {"memmsg", "memmsgsrc", "memmsgdest", "memmsgres",
+                  "datapath"}},
+      {"dir", {"nxtdirst", "nxtdirpv", "dirupd", "Fdback"}},
+      {"bdir", {"nxtbdirst", "nxtbdirpv", "bdirop"}},
+  };
+  return kGroups;
+}
+
+ControllerSpec make_extended_directory(const ProtocolSpec& asura) {
+  ExtendedTableBuilder b("ED", asura.controller(asura::kDirectory));
+
+  b.extend_domain("inmsg", {"Dfdback"});
+  // Qstatus: Full if any output queue or the busy directory is full;
+  // Dqstatus: whether the directory update queue is full.  Requests are
+  // handled on Qstatus alone, responses on Dqstatus alone; the other
+  // column is collapsed to NotFull to keep the table canonical.
+  b.add_input("Qstatus", {"Full", "NotFull"});
+  b.add_input("Dqstatus", {"Full", "NotFull"});
+  b.add_output("Fdback", {"NULL", "Dfdback"});
+
+  b.constrain("Qstatus",
+              "isresponse(inmsg) ? Qstatus = NotFull : true");
+  b.constrain("Dqstatus",
+              "isrequest(inmsg) ? Dqstatus = NotFull : true");
+
+  // The feedback request targets a settled line: the transaction whose
+  // update it carries has already completed.
+  b.constrain("bdirst", "inmsg = Dfdback ? bdirst = \"I\" : true");
+
+  // Requests finding the output queues full are retried outright; the
+  // internal feedback request is simply re-queued (no retry message).
+  b.wrap("locmsg",
+         "isrequest(inmsg) and Qstatus = Full",
+         "inmsg = Dfdback ? locmsg = NULL : locmsg = retry");
+  // A retried / re-queued request performs no other action, and the
+  // feedback request's only action is the deferred directory write.
+  const char* kSquelch =
+      "(isrequest(inmsg) and Qstatus = Full) or inmsg = Dfdback";
+  b.wrap("remmsg", kSquelch, "remmsg = NULL");
+  b.wrap("memmsg", kSquelch, "memmsg = NULL");
+  b.wrap("nxtdirst", kSquelch, "nxtdirst = NULL");
+  b.wrap("nxtdirpv", kSquelch, "nxtdirpv = NULL");
+  b.wrap("nxtbdirst", kSquelch, "nxtbdirst = NULL");
+  b.wrap("nxtbdirpv", kSquelch, "nxtbdirpv = NULL");
+  b.wrap("bdirop", kSquelch, "bdirop = NULL");
+  b.wrap("datapath", kSquelch, "datapath = NULL");
+  // Wrap order matters: the Dfdback behaviour is wrapped first so that the
+  // outer Qstatus=Full wrap takes precedence (a feedback request that is
+  // itself re-queued performs nothing yet).
+  b.wrap("dirupd", "inmsg = Dfdback", "dirupd = upd");
+  b.wrap("dirupd",
+         "isrequest(inmsg) and Qstatus = Full",
+         "dirupd = NULL");
+  b.wrap("cmpl", "inmsg = Dfdback", "cmpl = done");
+  b.wrap("cmpl",
+         "isrequest(inmsg) and Qstatus = Full",
+         "cmpl = NULL");
+
+  // Routing columns of squelched messages follow their message columns via
+  // the original `X = NULL ? Xsrc = NULL : ...` constraints, so they need
+  // no wrapping.
+
+  // The deferred-update feedback: a response that must write the directory
+  // while the update queue is full ships the update as a Dfdback request.
+  b.constrain("Fdback",
+              "isresponse(inmsg) and Dqstatus = Full and dirupd = upd ? "
+              "Fdback = Dfdback : Fdback = NULL");
+
+  return b.build();
+}
+
+std::vector<ImplementationTable> partition_directory(
+    const Table& ed, const FunctionRegistry& functions) {
+  Catalog cat;
+  cat.put("ED", ed);
+  cat.functions() = functions;
+
+  const std::vector<std::string> inputs = ed_input_columns(ed);
+  std::vector<ImplementationTable> out;
+  for (bool request : {true, false}) {
+    for (const auto& group : directory_output_groups()) {
+      if (!request && group.name == "remmsg") continue;  // responses never snoop
+      std::vector<std::string> cols = inputs;
+      cols.insert(cols.end(), group.columns.begin(), group.columns.end());
+      // The paper's query shape:
+      //   Create Table Request_remmsg as
+      //     Select distinct ED.Inputs, remmsg from ED
+      //     where isrequest(ED.Inputs.inmsg)
+      std::string sql = "select distinct ";
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (i > 0) sql += ", ";
+        sql += cols[i];
+      }
+      sql += " from ED where ";
+      sql += request ? "isrequest(inmsg)" : "isresponse(inmsg)";
+      ImplementationTable t;
+      t.name = (request ? "Request_" : "Response_") + group.name;
+      t.request = request;
+      t.group = group.name;
+      t.table = cat.query(sql);
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+Table reconstruct_extended(const std::vector<ImplementationTable>& parts,
+                           const Table& ed_reference) {
+  Table request_side, response_side;
+  bool req_init = false, resp_init = false;
+  for (const auto& p : parts) {
+    Table& side = p.request ? request_side : response_side;
+    bool& init = p.request ? req_init : resp_init;
+    if (!init) {
+      side = p.table;
+      init = true;
+    } else {
+      side = Table::natural_join(side, p.table);
+    }
+  }
+  if (!req_init || !resp_init) {
+    throw Error("reconstruct_extended: missing partition tables");
+  }
+
+  // The response side has no remmsg group: responses never snoop, so those
+  // columns are NULL by construction.  Re-synthesize them before the union.
+  for (const auto& col : ed_reference.schema().columns()) {
+    if (col.kind == ColumnKind::kOutput &&
+        !response_side.schema().has(col.name)) {
+      // Widen row by row (cross with a one-value table would also work but
+      // obscures that this is a positional zip).
+      Table widened(make_schema([&] {
+        auto cols = response_side.schema().columns();
+        cols.push_back(col);
+        return cols;
+      }()));
+      std::vector<Value> tmp(widened.column_count());
+      for (std::size_t i = 0; i < response_side.row_count(); ++i) {
+        RowView r = response_side.row(i);
+        std::copy(r.begin(), r.end(), tmp.begin());
+        tmp.back() = null_value();
+        widened.append(RowView(tmp));
+      }
+      response_side = std::move(widened);
+    }
+  }
+
+  // Align both sides to the reference column order and union.
+  std::vector<std::string> ref_cols;
+  for (const auto& c : ed_reference.schema().columns()) {
+    ref_cols.push_back(c.name);
+  }
+  Table req = request_side.project(ref_cols, /*distinct=*/false);
+  Table resp = response_side.project(ref_cols, /*distinct=*/false);
+  return Table::union_distinct(req, resp).with_schema(
+      ed_reference.schema_ptr());
+}
+
+Table reconstruct_base(const Table& ed, const Table& d_reference) {
+  const Value dfdback = V("Dfdback");
+  const Value full = V("Full");
+  const std::size_t c_inmsg = ed.schema().index_of("inmsg");
+  const std::size_t c_q = ed.schema().index_of("Qstatus");
+  const std::size_t c_dq = ed.schema().index_of("Dqstatus");
+  Table restricted = ed.select([&](RowView r) {
+    return r[c_inmsg] != dfdback && r[c_q] != full && r[c_dq] != full;
+  });
+  std::vector<std::string> d_cols;
+  for (const auto& c : d_reference.schema().columns()) {
+    d_cols.push_back(c.name);
+  }
+  return restricted.project(d_cols, /*distinct=*/true)
+      .with_schema(d_reference.schema_ptr());
+}
+
+MappingReport verify_directory_mapping(const ProtocolSpec& asura) {
+  MappingReport report;
+  ControllerSpec ed_spec = make_extended_directory(asura);
+  const Table& ed = ed_spec.generate(&asura.database().functions());
+  report.ed_rows = ed.row_count();
+  report.ed_cols = ed.column_count();
+
+  auto parts = partition_directory(ed, asura.database().functions());
+  for (const auto& p : parts) {
+    report.table_rows.emplace_back(p.name, p.table.row_count());
+  }
+
+  Table rebuilt = reconstruct_extended(parts, ed);
+  report.ed_reconstructed = rebuilt.set_equal(ed);
+
+  const Table& d = asura.database().get(asura::kDirectory);
+  Table base = reconstruct_base(ed, d);
+  report.base_recovered = base.set_equal(d);
+  report.contains_debugged = base.contains_all(d);
+  return report;
+}
+
+}  // namespace ccsql::mapping

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "protocol/protocol_spec.hpp"
+
+namespace ccsql::mapping {
+
+/// Column groups of the directory controller's outputs, used to partition
+/// the extended table into implementation tables (one table per output
+/// port of the request / response controllers, paper section 5).
+struct OutputGroup {
+  std::string name;                      // "locmsg", "dir", ...
+  std::vector<std::string> columns;
+};
+
+/// The output groups of D / ED.
+const std::vector<OutputGroup>& directory_output_groups();
+
+/// Builds the extended directory table spec ED (paper, section 5):
+///  * inmsg domain gains the implementation-defined Dfdback request,
+///  * new inputs Qstatus / Dqstatus (output-queue and update-queue
+///    occupancy) and new output Fdback,
+///  * requests finding Qstatus = Full are retried outright,
+///  * responses finding Dqstatus = Full ship their directory update in a
+///    Dfdback feedback request instead of writing the directory,
+///  * a Dfdback request applies the deferred update.
+ControllerSpec make_extended_directory(const ProtocolSpec& asura);
+
+/// One generated implementation table.
+struct ImplementationTable {
+  std::string name;   // e.g. "Request_remmsg"
+  bool request = false;  // request controller vs response controller
+  std::string group;  // output group name
+  Table table;
+};
+
+/// Partitions ED into the nine implementation tables:
+/// Request_{locmsg,remmsg,memmsg,dir,bdir} and
+/// Response_{locmsg,memmsg,dir,bdir}
+/// (responses never snoop, so there is no Response_remmsg), each produced
+/// by `Select distinct <inputs>, <group> from ED where is{request,response}
+/// (inmsg)` exactly as in the paper.
+std::vector<ImplementationTable> partition_directory(
+    const Table& ed, const FunctionRegistry& functions);
+
+/// Re-creates ED from the nine implementation tables by natural-joining
+/// each controller's tables on the input columns and unioning the two
+/// controllers (the paper's reverse table operations).
+Table reconstruct_extended(const std::vector<ImplementationTable>& parts,
+                           const Table& ed_reference);
+
+/// Restores the debugged table D from ED: drop the implementation columns
+/// and rows (Dfdback, Full states) and project onto D's schema.
+Table reconstruct_base(const Table& ed, const Table& d_reference);
+
+/// End-to-end result of the section 5 flow.
+struct MappingReport {
+  std::size_t ed_rows = 0;
+  std::size_t ed_cols = 0;
+  std::vector<std::pair<std::string, std::size_t>> table_rows;
+  bool ed_reconstructed = false;    // join/union of parts == ED
+  bool base_recovered = false;      // ED restricted/projected == D
+  bool contains_debugged = false;   // reconstruction contains original D
+
+  [[nodiscard]] bool ok() const {
+    return ed_reconstructed && base_recovered && contains_debugged;
+  }
+};
+
+/// Runs the full mapping flow for the ASURA directory controller and
+/// checks that no errors were introduced (paper: "it was explicitly
+/// checked that D could be reconstructed from these nine implementation
+/// tables").
+MappingReport verify_directory_mapping(const ProtocolSpec& asura);
+
+}  // namespace ccsql::mapping

@@ -1,0 +1,180 @@
+#include "mapping/codegen.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace ccsql::mapping {
+namespace {
+
+/// Value names are protocol identifiers like "Busy-rx-sd"; mangle them into
+/// C identifiers.
+std::string mangle(std::string_view text) {
+  std::string out = "k";
+  bool upper = true;
+  for (char c : text) {
+    if (c == '-' || c == '.' || c == '_') {
+      upper = true;
+      continue;
+    }
+    out += upper ? static_cast<char>(std::toupper(c)) : c;
+    upper = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string generate_code(const Table& table, const std::string& unit_name,
+                          CodeDialect dialect) {
+  std::ostringstream os;
+  const Schema& schema = table.schema();
+
+  std::vector<std::size_t> ins, outs;
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    (schema.column(c).kind == ColumnKind::kInput ? ins : outs).push_back(c);
+  }
+
+  if (dialect == CodeDialect::kCxx) {
+    os << "// Generated from implementation table " << unit_name << " ("
+       << table.row_count() << " rows). Do not edit.\n";
+    os << "void " << unit_name << "_step(const Inputs& in, Outputs& out) {\n";
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+      os << "  if (";
+      bool first = true;
+      for (std::size_t c : ins) {
+        const Value v = table.at(r, c);
+        if (v.is_null()) continue;  // don't care
+        if (!first) os << " && ";
+        os << "in." << schema.column(c).name << " == " << mangle(v.str());
+        first = false;
+      }
+      if (first) os << "true";
+      os << ") {\n";
+      for (std::size_t c : outs) {
+        const Value v = table.at(r, c);
+        if (v.is_null()) continue;  // no-op
+        os << "    out." << schema.column(c).name << " = "
+           << mangle(v.str()) << ";\n";
+      }
+      os << "    return;\n  }\n";
+    }
+    os << "  out.error = true;  // illegal input combination\n}\n";
+    return os.str();
+  }
+
+  // Verilog-style casez over the concatenated inputs.
+  os << "// Generated from implementation table " << unit_name << " ("
+     << table.row_count() << " rows). Do not edit.\n";
+  os << "always @(*) begin : " << unit_name << "\n";
+  os << "  casez ({";
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << schema.column(ins[i]).name;
+  }
+  os << "})\n";
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    os << "    {";
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      if (i > 0) os << ", ";
+      const Value v = table.at(r, ins[i]);
+      os << (v.is_null() ? std::string("ANY") : mangle(v.str()));
+    }
+    os << "}: begin ";
+    for (std::size_t c : outs) {
+      const Value v = table.at(r, c);
+      if (v.is_null()) continue;
+      os << schema.column(c).name << " <= " << mangle(v.str()) << "; ";
+    }
+    os << "end\n";
+  }
+  os << "    default: protocol_error <= 1;\n  endcase\nend\n";
+  return os.str();
+}
+
+std::string generate_selfcheck_program(const Table& table,
+                                       const std::string& unit_name) {
+  const Schema& schema = table.schema();
+  std::vector<std::size_t> ins, outs;
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    (schema.column(c).kind == ColumnKind::kInput ? ins : outs).push_back(c);
+  }
+
+  std::ostringstream os;
+  os << "// Self-checking unit generated from " << unit_name
+     << ".  Exit 0 iff the generated logic reproduces every table row.\n";
+  os << "#include <cstdio>\n\n";
+  os << generate_value_declarations(table, unit_name) << "\n";
+  // kNull (don't-care / no-op) plus an out-of-band initial value for
+  // outputs so an untouched output is distinguishable from any real value.
+  os << "constexpr int kNull = -1;\nconstexpr int kUnset = -2;\n\n";
+  os << "struct Inputs {\n";
+  for (std::size_t c : ins) {
+    os << "  int " << schema.column(c).name << " = kNull;\n";
+  }
+  os << "};\nstruct Outputs {\n";
+  for (std::size_t c : outs) {
+    os << "  int " << schema.column(c).name << " = kUnset;\n";
+  }
+  os << "  bool error = false;\n};\n\n";
+  os << generate_code(table, unit_name, CodeDialect::kCxx) << "\n";
+
+  // The test vectors: one row each of inputs and expected outputs.
+  os << "int main() {\n  int failures = 0;\n";
+  os << "  struct Vector { Inputs in; Outputs want; };\n";
+  os << "  const Vector vectors[] = {\n";
+  auto cell = [&](std::size_t r, std::size_t c) -> std::string {
+    const Value v = table.at(r, c);
+    return v.is_null() ? "kNull" : mangle(v.str());
+  };
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    os << "    {{";
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << cell(r, ins[i]);
+    }
+    os << "}, {";
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << cell(r, outs[i]);
+    }
+    os << ", false}},\n";
+  }
+  os << "  };\n";
+  os << "  for (const Vector& v : vectors) {\n";
+  os << "    Outputs got;\n";
+  os << "    " << unit_name << "_step(v.in, got);\n";
+  os << "    bool ok = !got.error;\n";
+  for (std::size_t c : outs) {
+    const auto& name = schema.column(c).name;
+    // A no-op output (kNull in the table) must be left unset by the
+    // generated code; anything else must match exactly.
+    os << "    ok = ok && (v.want." << name << " == kNull ? got." << name
+       << " == kUnset : got." << name << " == v.want." << name << ");\n";
+  }
+  os << "    if (!ok) { ++failures; }\n  }\n";
+  os << "  std::printf(\"" << unit_name
+     << ": %d failures over " << table.row_count()
+     << " vectors\\n\", failures);\n";
+  os << "  return failures == 0 ? 0 : 1;\n}\n";
+  return os.str();
+}
+
+std::string generate_value_declarations(const Table& table,
+                                        const std::string& unit_name) {
+  std::set<std::string> values;
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    for (std::size_t c = 0; c < table.column_count(); ++c) {
+      const Value v = table.at(r, c);
+      if (!v.is_null()) values.insert(mangle(v.str()));
+    }
+  }
+  std::ostringstream os;
+  os << "// Value symbols referenced by " << unit_name << ".\n";
+  os << "enum " << unit_name << "_values {\n";
+  for (const auto& v : values) os << "  " << v << ",\n";
+  os << "};\n";
+  return os.str();
+}
+
+}  // namespace ccsql::mapping

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/table.hpp"
+
+namespace ccsql::mapping {
+
+/// Target dialect of the emitted controller description.
+enum class CodeDialect {
+  kCxx,      // a C++ function with if-cascades
+  kCasez,    // a Verilog-style casez block (one arm per row)
+};
+
+/// Emits hardware-controller code from an implementation table — the
+/// paper's "code is automatically generated from these tables using SQL
+/// report generation".  Input columns become the matched condition (NULL =
+/// don't care, omitted), output columns become assignments (NULL = no-op,
+/// omitted).  Rows are emitted in table order; the first matching row wins,
+/// which is sound because implementation tables have disjoint input
+/// combinations.
+std::string generate_code(const Table& table, const std::string& unit_name,
+                          CodeDialect dialect = CodeDialect::kCxx);
+
+/// Emits an enum-style header declaring every distinct value used by the
+/// table, so the generated unit is self-contained.
+std::string generate_value_declarations(const Table& table,
+                                        const std::string& unit_name);
+
+/// Emits a complete, compilable C++ program: value declarations, the
+/// generated step function, and a main() that replays every table row as a
+/// test vector and checks the function reproduces the outputs.  The
+/// program's exit status is the verification result — this closes the last
+/// gap of the section 5 flow (the emitted code, not just the tables, is
+/// checked against the debugged specification).
+std::string generate_selfcheck_program(const Table& table,
+                                       const std::string& unit_name);
+
+}  // namespace ccsql::mapping

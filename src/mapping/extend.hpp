@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protocol/controller_spec.hpp"
+
+namespace ccsql {
+
+/// Builds an extended controller spec from a debugged one (paper, section
+/// 5): implementation detail is added by extending column domains (e.g. the
+/// implementation-defined Dfdback request), inserting new implementation
+/// input/output columns (Qstatus, Dqstatus, Fdback), and modifying the
+/// original column constraints.
+///
+/// Constraint modification is restricted to *wrapping*: the new constraint
+/// for a column is `cond ? then : (original constraints)`, so the original
+/// architecture behaviour is preserved verbatim whenever the implementation
+/// condition does not fire.  This is what makes the reconstruction check
+/// (verify.hpp) meaningful.
+class ExtendedTableBuilder {
+ public:
+  ExtendedTableBuilder(std::string name, const ControllerSpec& base);
+
+  /// Adds extra values to an existing column's domain.
+  ExtendedTableBuilder& extend_domain(const std::string& column,
+                                      const std::vector<std::string>& extra);
+
+  /// Adds a new implementation input column (placed after the base inputs).
+  ExtendedTableBuilder& add_input(const std::string& name,
+                                  std::vector<std::string> values);
+
+  /// Adds a new implementation output column (placed after everything).
+  ExtendedTableBuilder& add_output(const std::string& name,
+                                   std::vector<std::string> values);
+
+  /// Replaces the constraints of `column` with
+  ///   cond ? then : (conjunction of the original constraints).
+  /// May be called repeatedly; later wraps test their condition first.
+  ExtendedTableBuilder& wrap(const std::string& column,
+                             std::string_view cond, std::string_view then);
+
+  /// Adds an extra (conjoined) constraint without touching existing ones.
+  ExtendedTableBuilder& constrain(const std::string& column,
+                                  std::string_view text);
+
+  /// Produces the extended spec.  Message triples are copied from the base.
+  [[nodiscard]] ControllerSpec build() const;
+
+ private:
+  struct Col {
+    Column column;
+    Domain domain;
+  };
+
+  std::string name_;
+  std::vector<Col> base_inputs_;
+  std::vector<Col> base_outputs_;
+  std::vector<Col> new_inputs_;
+  std::vector<Col> new_outputs_;
+  std::vector<ColumnConstraint> constraints_;
+  std::vector<MessageTriple> triples_;
+};
+
+}  // namespace ccsql

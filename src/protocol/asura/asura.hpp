@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+
+#include "protocol/protocol_spec.hpp"
+
+namespace ccsql::asura {
+
+/// Controller names used in the ASURA reconstruction.  The paper's system
+/// maintains 8 controller database tables; these are ours:
+///
+///   D    directory controller at home (the paper's detailed example; 30
+///        columns, busy-directory columns included)
+///   M    home memory controller
+///   NC   node controller at the local node (processor <-> network ops)
+///   CC   cache controller (local role for processor ops and fills, remote
+///        role for snoop handling)
+///   RSN  remote snoop engine at the remote quad's protocol engine
+///   RAC  remote access cache controller at the local quad's protocol engine
+///   IOC  I/O controller at the local node
+///   INT  interrupt controller at the local node
+inline constexpr const char* kDirectory = "D";
+inline constexpr const char* kMemory = "M";
+inline constexpr const char* kNode = "NC";
+inline constexpr const char* kCache = "CC";
+inline constexpr const char* kRemoteSnoop = "RSN";
+inline constexpr const char* kRac = "RAC";
+inline constexpr const char* kIo = "IOC";
+inline constexpr const char* kInterrupt = "INT";
+
+/// Names of the channel assignments built by make_asura():
+///
+///   V4    the initial assignment with channels VC0..VC3 only (directory ->
+///         memory requests share VC0 with local->home requests); yields
+///         many cycles, mirroring the paper's first iteration
+///   V5    VC4 added for home-directory -> home-memory requests; yields the
+///         Figure 4 deadlock (VC2/VC4 cycle)
+///   V5fix the shipped fix: mread moves to a dedicated hardware path (no
+///         virtual channel), breaking the cycle
+inline constexpr const char* kAssignV4 = "V4";
+inline constexpr const char* kAssignV5 = "V5";
+inline constexpr const char* kAssignV5Fix = "V5fix";
+
+/// Builds the full ASURA protocol reconstruction: message catalog, the 8
+/// controller specs with their column constraints, the invariant suite, and
+/// the three channel assignments.  Generate tables via spec->database().
+std::unique_ptr<ProtocolSpec> make_asura();
+
+/// The busy states of the directory controller (subset of the bdirst
+/// domain).  Exposed for tests and the simulator.
+const std::vector<std::string>& busy_states();
+
+/// Messages legitimately consumed outside the controller tables (delivered
+/// to processors or devices); used as the sink list for spec linting.
+const std::vector<std::string>& processor_sinks();
+
+}  // namespace ccsql::asura

@@ -1,0 +1,23 @@
+#pragma once
+
+// Internal builder functions for the ASURA reconstruction.  Each function
+// adds one controller spec (schema + domains + column constraints) to the
+// protocol; they are called from make_asura() only.
+
+#include "protocol/asura/asura.hpp"
+
+namespace ccsql::asura::detail {
+
+void add_messages(ProtocolSpec& p);
+void add_directory(ProtocolSpec& p);
+void add_memory(ProtocolSpec& p);
+void add_node(ProtocolSpec& p);
+void add_cache(ProtocolSpec& p);
+void add_remote_snoop(ProtocolSpec& p);
+void add_rac(ProtocolSpec& p);
+void add_io(ProtocolSpec& p);
+void add_interrupt(ProtocolSpec& p);
+void add_channels(ProtocolSpec& p);
+void add_invariants(ProtocolSpec& p);
+
+}  // namespace ccsql::asura::detail

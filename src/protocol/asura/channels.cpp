@@ -1,0 +1,87 @@
+#include "protocol/asura/asura_internal.hpp"
+
+namespace ccsql::asura::detail {
+namespace {
+
+/// Requests issued by the local node (or its protocol engine) to home.
+/// The grant acknowledgement gdone rides the same channel: it flows
+/// local -> home and is ordered with the node's subsequent requests.
+const char* kLocalToHomeRequests[] = {"read", "readex", "upgr", "wb",
+                                      "flush", "rdio", "wrio", "intr",
+                                      "evict", "atomic", "gdone"};
+
+/// Snoop requests from the home directory to remote nodes.
+const char* kHomeToRemoteRequests[] = {"sinv", "sfetch", "sflush"};
+
+/// Requests from the home directory to the home memory controller,
+/// including the verbatim-forwarded writeback (Figure 4).
+const char* kDirToMemRequests[] = {"mread", "mwrite", "mupd", "mrmw",
+                                   "wb"};
+
+/// Responses from remote nodes to home.
+const char* kRemoteToHomeResponses[] = {"idone", "rdata", "fdone"};
+
+/// Responses from the home memory controller to the home directory.
+const char* kMemToDirResponses[] = {"data", "mdone", "compl"};
+
+/// Responses from home to the local node.
+const char* kHomeToLocalResponses[] = {"compl",   "data", "retry", "nack",
+                                       "iodata", "iocompl", "intack"};
+
+void assign_all(ChannelAssignment& v, const char* const* msgs, std::size_t n,
+                const char* src, const char* dst, const char* vc) {
+  for (std::size_t i = 0; i < n; ++i) v.assign(msgs[i], src, dst, vc);
+}
+
+template <std::size_t N>
+void assign_all(ChannelAssignment& v, const char* const (&msgs)[N],
+                const char* src, const char* dst, const char* vc) {
+  assign_all(v, msgs, N, src, dst, vc);
+}
+
+/// The paper's section 4.2 assignment: VC0 requests local->home, VC1
+/// requests home->remote, VC2 responses remote->home (and the home-internal
+/// memory responses), VC3 responses home->local.
+void assign_base(ChannelAssignment& v) {
+  assign_all(v, kLocalToHomeRequests, "local", "home", "VC0");
+  assign_all(v, kHomeToRemoteRequests, "home", "remote", "VC1");
+  assign_all(v, kRemoteToHomeResponses, "remote", "home", "VC2");
+  assign_all(v, kMemToDirResponses, "home", "home", "VC2");
+  assign_all(v, kHomeToLocalResponses, "home", "local", "VC3");
+}
+
+}  // namespace
+
+void add_channels(ProtocolSpec& p) {
+  // V4: the initial assignment with four channels only.  Directory ->
+  // memory requests share VC0 with the local->home requests; the paper
+  // reports that this version produced several cycles, most involving the
+  // directory and memory controllers at home.
+  {
+    auto& v = p.add_assignment(kAssignV4);
+    assign_base(v);
+    assign_all(v, kDirToMemRequests, "home", "home", "VC0");
+  }
+
+  // V5: a fifth channel VC4 is added to carry the directory -> memory
+  // requests.  This is the assignment in which the paper's Figure 4
+  // deadlock (the VC2 / VC4 cycle) was discovered.
+  {
+    auto& v = p.add_assignment(kAssignV5);
+    assign_base(v);
+    assign_all(v, kDirToMemRequests, "home", "home", "VC4");
+  }
+
+  // V5fix: the shipped design — directory -> memory requests move to a
+  // dedicated hardware path (the paper added the path for mread; our
+  // directory can also emit mupd / mwrite / forwarded wb while processing
+  // responses, so the whole directory->memory port is dedicated).  With no
+  // virtual channel assigned, these messages induce no channel
+  // dependencies and the VC2/VC4 cycle disappears.
+  {
+    auto& v = p.add_assignment(kAssignV5Fix);
+    assign_base(v);
+  }
+}
+
+}  // namespace ccsql::asura::detail

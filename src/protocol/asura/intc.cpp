@@ -1,0 +1,55 @@
+#include "protocol/asura/asura_internal.hpp"
+
+namespace ccsql::asura::detail {
+
+// The interrupt controller INT at the local node: dispatches processor
+// interrupts as intr transactions to home (where the directory controller
+// acknowledges them) and also carries the protocol's special
+// state-communication transactions (sstate / astate).
+void add_interrupt(ProtocolSpec& p) {
+  auto& c = p.add_controller(kInterrupt);
+
+  c.add_input("inmsg", {"pint", "intack", "sstate", "astate", "retry"});
+  c.add_input("inmsgsrc", {"local", "home", "remote"});
+  c.add_input("inmsgdest", {"local"});
+  c.add_input("intst", {"idle", "w-int", "w-st"});
+
+  c.add_output("outmsg", {"NULL", "intr", "astate"});
+  c.add_output("outmsgsrc", {"NULL", "local"});
+  c.add_output("outmsgdest", {"NULL", "home", "remote"});
+  c.add_output("procmsg", {"NULL", "pdone"});
+  c.add_output("nxtintst", {"NULL", "idle", "w-int", "w-st"});
+
+  // pint / intack / retry are local-node traffic (responses arrive via the
+  // RAC); sstate is a role-level state-communication message from remote.
+  c.constrain("inmsgsrc",
+              "inmsg = sstate ? inmsgsrc = remote : inmsgsrc = local");
+  c.constrain("inmsgdest", "inmsgdest = local");
+  c.constrain("intst",
+              "inmsg in (pint, sstate) ? intst = idle : "
+              "(inmsg = intack ? intst = w-int : "
+              "(inmsg = astate ? intst = w-st : intst = w-int))");
+
+  c.constrain("outmsg",
+              "inmsg = pint ? outmsg = intr : "
+              "(inmsg = sstate ? outmsg = astate : "
+              "(inmsg = retry ? outmsg = intr : outmsg = NULL))");
+  c.constrain("outmsgsrc",
+              "outmsg = NULL ? outmsgsrc = NULL : outmsgsrc = local");
+  c.constrain("outmsgdest",
+              "outmsg = NULL ? outmsgdest = NULL : "
+              "(outmsg = astate ? outmsgdest = remote : outmsgdest = home)");
+
+  c.constrain("procmsg",
+              "inmsg = intack ? procmsg = pdone : procmsg = NULL");
+
+  c.constrain("nxtintst",
+              "inmsg = pint ? nxtintst = w-int : "
+              "(inmsg = sstate ? nxtintst = NULL : "
+              "(inmsg = retry ? nxtintst = NULL : nxtintst = idle))");
+
+  c.add_message_triple({"inmsg", "inmsgsrc", "inmsgdest", true});
+  c.add_message_triple({"outmsg", "outmsgsrc", "outmsgdest", false});
+}
+
+}  // namespace ccsql::asura::detail

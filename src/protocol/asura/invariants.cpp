@@ -1,0 +1,542 @@
+#include "protocol/asura/asura_internal.hpp"
+
+namespace ccsql::asura::detail {
+namespace {
+
+void inv(ProtocolSpec& p, const char* name, const char* description,
+         std::string sql) {
+  p.add_invariant(NamedInvariant{name, description, std::move(sql)});
+}
+
+}  // namespace
+
+// The protocol invariant suite (paper, section 4.3: "All of the protocol
+// invariants (around 50) are checked ... within 5 minutes").  Each invariant
+// is one or more SQL emptiness checks over a controller table.
+//
+// The paper's published invariants appear first.  Note on the first one:
+// the paper prints it as a single WHERE conjunction (dirst = "MESI" and ...
+// and dirst = "SI" and ...), which is vacuously empty because dirst cannot
+// take two values at once; we state the evidently intended per-state checks
+// as a conjunction of emptiness checks.
+void add_invariants(ProtocolSpec& p) {
+  // ---- Published invariants (section 4.3) -----------------------------------
+  inv(p, "dir-state-pv-consistency",
+      "Directory state and presence vector agree: MESI has exactly one "
+      "sharer, SI one or more, I none (paper's first invariant).",
+      "[Select dirst, dirpv from D where dirst = \"MESI\" and "
+      "not dirpv = \"one\"] = empty and "
+      "[Select dirst, dirpv from D where dirst = \"SI\" and "
+      "not dirpv in (\"one\", \"gone\")] = empty and "
+      "[Select dirst, dirpv from D where dirst = \"I\" and "
+      "not dirpv = \"zero\"] = empty");
+
+  inv(p, "dir-busy-mutual-exclusion",
+      "A line is in the busy directory or in the directory, never both "
+      "(paper's second invariant, verbatim).",
+      "[Select dirst, bdirst from D where not dirst = \"I\" and "
+      "not bdirst = \"I\"] = empty");
+
+  inv(p, "dir-serializes-requests",
+      "Requests to a busy line are retried, and a busy entry is freed only "
+      "at completion (paper's third invariant).",
+      "[Select inmsg, bdirst, locmsg from D where isrequest(inmsg) and "
+      "not bdirst = \"I\" and not locmsg = \"retry\"] = empty and "
+      "[Select inmsg, bdirst, nxtbdirst, cmpl from D where "
+      "nxtbdirst = \"I\" and not cmpl = done] = empty");
+
+  inv(p, "dir-completion-responds",
+      "Every transaction that completes at D responds to the requestor "
+      "(paper: D sends or receives a compl for every busy entry); grant "
+      "acknowledgements end an already-responded transaction.",
+      "[Select inmsg, locmsg, cmpl from D where cmpl = done and "
+      "locmsg = NULL and not inmsg in (\"compl\", \"gdone\")] = empty");
+
+  // ---- Directory controller ---------------------------------------------------
+  inv(p, "dir-lookup-consistency",
+      "Directory lookup result matches the stable state; the stale result "
+      "(requester absent from the presence vector) only ever appears for "
+      "writebacks and eviction hints on a valid entry.",
+      "[Select dirst, dirlookup from D where dirst = \"I\" and "
+      "not dirlookup = miss] = empty and "
+      "[Select dirst, dirlookup from D where not dirst = \"I\" and "
+      "dirlookup = miss] = empty and "
+      "[Select inmsg, dirlookup from D where dirlookup = stale and "
+      "not inmsg in (\"wb\", \"evict\")] = empty");
+
+  inv(p, "bdir-lookup-consistency",
+      "Busy-directory lookup result matches the busy state.",
+      "[Select bdirst, bdirlookup from D where bdirst = \"I\" and "
+      "bdirlookup = hit] = empty and "
+      "[Select bdirst, bdirlookup from D where not bdirst = \"I\" and "
+      "bdirlookup = miss] = empty");
+
+  inv(p, "dir-retry-only-when-busy",
+      "D retries a request only because the line is busy.",
+      "[Select inmsg, bdirst, locmsg from D where locmsg = \"retry\" and "
+      "bdirst = \"I\"] = empty");
+
+  inv(p, "dir-responses-only-when-busy",
+      "Responses are only legal for lines with a busy entry.",
+      "[Select inmsg, bdirst from D where isresponse(inmsg) and "
+      "bdirst = \"I\"] = empty");
+
+  inv(p, "dir-requests-from-local",
+      "All requests processed by D originate at the local role.",
+      "[Select inmsg, inmsgsrc from D where isrequest(inmsg) and "
+      "not inmsgsrc = local] = empty");
+
+  inv(p, "dir-request-on-reqq",
+      "Requests arrive on the request queue, responses on the response "
+      "queue.",
+      "[Select inmsg, inmsgres from D where isrequest(inmsg) and "
+      "not inmsgres = reqq] = empty and "
+      "[Select inmsg, inmsgres from D where isresponse(inmsg) and "
+      "not inmsgres = respq] = empty");
+
+  inv(p, "dir-locmsg-wellformed",
+      "locmsg routing columns are set exactly when a message is sent.",
+      "[Select locmsg, locmsgsrc, locmsgdest from D where "
+      "not locmsg = NULL and (not locmsgsrc = home or "
+      "not locmsgdest = local or not locmsgres = respq)] = empty and "
+      "[Select locmsg, locmsgsrc, locmsgdest from D where locmsg = NULL and "
+      "(not locmsgsrc = NULL or not locmsgdest = NULL or "
+      "not locmsgres = NULL)] = empty");
+
+  inv(p, "dir-remmsg-wellformed",
+      "remmsg routing columns are set exactly when a snoop is sent.",
+      "[Select remmsg, remmsgsrc, remmsgdest from D where "
+      "not remmsg = NULL and (not remmsgsrc = home or "
+      "not remmsgdest = remote or not remmsgres = reqq)] = empty and "
+      "[Select remmsg, remmsgsrc, remmsgdest from D where remmsg = NULL and "
+      "(not remmsgsrc = NULL or not remmsgdest = NULL or "
+      "not remmsgres = NULL)] = empty");
+
+  inv(p, "dir-memmsg-wellformed",
+      "memmsg routing columns are set exactly when a memory request is "
+      "sent.",
+      "[Select memmsg, memmsgsrc, memmsgdest from D where "
+      "not memmsg = NULL and (not memmsgsrc = home or "
+      "not memmsgdest = home or not memmsgres = reqq)] = empty and "
+      "[Select memmsg, memmsgsrc, memmsgdest from D where memmsg = NULL and "
+      "(not memmsgsrc = NULL or not memmsgdest = NULL or "
+      "not memmsgres = NULL)] = empty");
+
+  inv(p, "dir-snoops-only-for-requests",
+      "Snoops are generated while accepting a fresh request, never while "
+      "processing a response.",
+      "[Select inmsg, remmsg from D where not remmsg = NULL and "
+      "isresponse(inmsg)] = empty");
+
+  inv(p, "dir-snoop-needs-sharers",
+      "An invalidation is only sent when the line has sharers or an owner.",
+      "[Select remmsg, dirst, dirpv from D where remmsg = \"sinv\" and "
+      "dirpv = \"zero\"] = empty");
+
+  inv(p, "dir-alloc-from-free",
+      "A busy entry is allocated only when the line is not already busy, "
+      "and allocation installs a busy state.",
+      "[Select bdirop, bdirst from D where bdirop = alloc and "
+      "not bdirst = \"I\"] = empty and "
+      "[Select bdirop, nxtbdirst from D where bdirop = alloc and "
+      "(nxtbdirst = NULL or nxtbdirst = \"I\")] = empty");
+
+  inv(p, "dir-free-from-busy",
+      "A busy entry is freed only when one exists.",
+      "[Select bdirop, bdirst from D where bdirop = free and "
+      "bdirst = \"I\"] = empty");
+
+  inv(p, "dir-upd-consistency",
+      "The directory is written exactly when state or presence vector "
+      "change.",
+      "[Select dirupd, nxtdirst, nxtdirpv from D where dirupd = NULL and "
+      "(not nxtdirst = NULL or not nxtdirpv = NULL)] = empty and "
+      "[Select dirupd, nxtdirst, nxtdirpv from D where dirupd = upd and "
+      "nxtdirst = NULL and nxtdirpv = NULL] = empty");
+
+  inv(p, "dir-sinv-arms-busy-pv",
+      "Issuing invalidations installs the pending-acknowledgement count.",
+      "[Select remmsg, nxtbdirpv from D where remmsg = \"sinv\" and "
+      "not nxtbdirpv = repl] = empty");
+
+  inv(p, "dir-idone-decrements",
+      "Every invalidation acknowledgement decrements the pending count.",
+      "[Select inmsg, nxtbdirpv from D where inmsg = \"idone\" and "
+      "not nxtbdirpv = dec] = empty");
+
+  inv(p, "dir-idone-completes-only-last",
+      "Invalidation acknowledgements complete a transaction only when they "
+      "are the last pending one.",
+      "[Select inmsg, bdirpv, cmpl from D where inmsg = \"idone\" and "
+      "bdirpv = gone and not cmpl = cont] = empty");
+
+  inv(p, "dir-figure3-hold-data",
+      "In the Figure 3 scenario the data response at Busy-rx-sd is held: "
+      "the transaction continues to Busy-rx-s.",
+      "[Select inmsg, bdirst, nxtbdirst, cmpl from D where "
+      "inmsg = \"data\" and bdirst = \"Busy-rx-sd\" and "
+      "(not nxtbdirst = \"Busy-rx-s\" or not cmpl = cont)] = empty");
+
+  inv(p, "dir-readex-transfers-ownership",
+      "An acknowledged read-exclusive (or converted upgrade) grant installs "
+      "MESI and replaces the presence vector with the new owner (Figure 2).",
+      "[Select inmsg, bdirst, nxtdirst, nxtdirpv from D where "
+      "inmsg = \"gdone\" and bdirst = \"Busy-rx-g\" and "
+      "(not nxtdirst = \"MESI\" or not nxtdirpv = repl)] = empty");
+
+  inv(p, "dir-read-installs-shared",
+      "An acknowledged read grant installs SI and adds the requester.",
+      "[Select inmsg, bdirst, nxtdirst, nxtdirpv from D where "
+      "inmsg = \"gdone\" and bdirst = \"Busy-rd-g\" and "
+      "(not nxtdirst = \"SI\" or not nxtdirpv = inc)] = empty");
+
+  inv(p, "dir-grants-protected",
+      "A copy-installing grant keeps the line busy until the requester's "
+      "acknowledgement, and the acknowledgement frees it without any "
+      "message traffic.",
+      "[Select inmsg, bdirst, nxtbdirst from D where "
+      "inmsg in (\"data\", \"rdata\") and "
+      "bdirst in (\"Busy-rd-d\", \"Busy-rd-r\", \"Busy-rx-d\") and "
+      "not nxtbdirst in (\"Busy-rd-g\", \"Busy-rx-g\")] = empty and "
+      "[Select inmsg, bdirop, locmsg, remmsg, memmsg from D where "
+      "inmsg = \"gdone\" and (not bdirop = free or not locmsg = NULL or "
+      "not remmsg = NULL or not memmsg = NULL)] = empty");
+
+  inv(p, "dir-owner-inv-then-mread",
+      "Invalidating the previous owner of a read-exclusive issues the "
+      "memory read when the idone is processed (the Figure 4 path).",
+      "[Select inmsg, bdirst, memmsg, nxtbdirst from D where "
+      "inmsg = \"idone\" and bdirst = \"Busy-rx-si\" and "
+      "(not memmsg = \"mread\" or not nxtbdirst = \"Busy-rx-d\")] = empty");
+
+  inv(p, "dir-interrupt-immediate",
+      "Interrupts are acknowledged immediately and allocate nothing.",
+      "[Select inmsg, locmsg, cmpl, bdirop from D where inmsg = \"intr\" and "
+      "bdirst = \"I\" and (not locmsg = \"intack\" or not cmpl = done or "
+      "not bdirop = NULL)] = empty");
+
+  inv(p, "dir-nonsnoop-busy-pv-zero",
+      "Busy states that await no invalidation acknowledgements carry an "
+      "empty pending count.",
+      "[Select bdirst, bdirpv from D where bdirst in (\"Busy-rd-d\", "
+      "\"Busy-rd-r\", \"Busy-rd-g\", \"Busy-rx-d\", \"Busy-rx-g\", "
+      "\"Busy-wb-m\", \"Busy-fl-f\", "
+      "\"Busy-fl-m\", \"Busy-ior-d\", \"Busy-iow-m\") and "
+      "not bdirpv = zero] = empty");
+
+  inv(p, "dir-every-row-acts",
+      "No controller row is a silent no-op: a retry carries a response and "
+      "anything else progresses a transaction.",
+      "[Select locmsg, cmpl from D where cmpl = NULL and "
+      "locmsg = NULL] = empty");
+
+  inv(p, "dir-wb-forwarded",
+      "A live writeback is forwarded verbatim to the memory controller "
+      "(Figure 4: wb travels home->home); a stale one (line no longer "
+      "owned: it was absorbed by a snoop in flight) is nacked.",
+      "[Select inmsg, memmsg, nxtbdirst from D where inmsg = \"wb\" and "
+      "bdirst = \"I\" and dirst = \"MESI\" and dirlookup = hit and "
+      "(not memmsg = \"wb\" or "
+      "not nxtbdirst = \"Busy-wb-m\")] = empty and "
+      "[Select inmsg, dirst, locmsg from D where inmsg = \"wb\" and "
+      "bdirst = \"I\" and (not dirst = \"MESI\" or dirlookup = stale) "
+      "and not locmsg = \"nack\"] = empty");
+
+  inv(p, "dir-evict-exact",
+      "An eviction hint from a recorded sharer removes exactly that sharer "
+      "(clearing the entry when it was the last); hints from non-members "
+      "or against non-shared lines are stale and are nacked.",
+      "[Select inmsg, dirlookup, locmsg from D where inmsg = \"evict\" "
+      "and bdirst = \"I\" and (dirlookup = stale or "
+      "not dirst = \"SI\") and not locmsg = \"nack\"] = empty and "
+      "[Select inmsg, dirpv, nxtdirpv, nxtdirst from D where "
+      "inmsg = \"evict\" and dirst = \"SI\" and dirlookup = hit and "
+      "dirpv = one and (not nxtdirpv = drepl or "
+      "not nxtdirst = \"I\")] = empty and "
+      "[Select inmsg, dirpv, nxtdirpv from D where inmsg = \"evict\" and "
+      "dirst = \"SI\" and dirlookup = hit and dirpv = gone and "
+      "not nxtdirpv = dec] = empty");
+
+  inv(p, "dir-atomic-invalidates-first",
+      "An atomic read-modify-write invalidates every cached copy before the "
+      "memory operation is issued.",
+      "[Select inmsg, dirst, remmsg, memmsg from D where "
+      "inmsg = \"atomic\" and bdirst = \"I\" and not dirst = \"I\" and "
+      "(not remmsg = \"sinv\" or not memmsg = NULL)] = empty and "
+      "[Select inmsg, bdirst, memmsg from D where inmsg = \"idone\" and "
+      "bdirpv = one and bdirst in (\"Busy-at-s\", \"Busy-at-si\") and "
+      "not memmsg = \"mrmw\"] = empty");
+
+  inv(p, "dir-io-write-invalidates-first",
+      "A coherent I/O write invalidates every cached copy before writing "
+      "memory.",
+      "[Select inmsg, dirst, remmsg, memmsg from D where inmsg = \"wrio\" "
+      "and bdirst = \"I\" and not dirst = \"I\" and "
+      "(not remmsg = \"sinv\" or not memmsg = NULL)] = empty and "
+      "[Select inmsg, bdirst, memmsg from D where inmsg = \"idone\" and "
+      "bdirpv = one and bdirst in (\"Busy-iow-s\", \"Busy-iow-si\") and "
+      "not memmsg = \"mwrite\"] = empty");
+
+  inv(p, "dir-io-read-restores-state",
+      "A coherent I/O read leaves the sharing state as it found it: reads "
+      "from shared or owned lines restore SI (the owner is downgraded), "
+      "reads from invalid lines leave the line invalid, and no I/O "
+      "transaction ever installs a cache copy (no grant state).",
+      "[Select inmsg, bdirst, nxtdirst from D where "
+      "inmsg in (\"data\", \"rdata\") and "
+      "bdirst in (\"Busy-ior-e\", \"Busy-ior-r\") and "
+      "not nxtdirst = \"SI\"] = empty and "
+      "[Select inmsg, bdirst, nxtdirst from D where inmsg = \"data\" and "
+      "bdirst = \"Busy-ior-d\" and not nxtdirst = NULL] = empty and "
+      "[Select bdirst, nxtbdirst from D where "
+      "bdirst in (\"Busy-ior-d\", \"Busy-ior-e\", \"Busy-ior-r\") and "
+      "nxtbdirst in (\"Busy-rd-g\", \"Busy-rx-g\")] = empty");
+
+  inv(p, "dir-io-atomic-uncached-completion",
+      "I/O and atomic completions leave the line uncached: the memory "
+      "acknowledgement clears the presence vector.",
+      "[Select inmsg, bdirst, nxtdirpv from D where inmsg = \"mdone\" and "
+      "bdirst in (\"Busy-iow-m\", \"Busy-at-m\") and "
+      "not nxtdirpv = drepl] = empty");
+
+  // ---- Memory controller -------------------------------------------------------
+  inv(p, "mem-read-returns-data",
+      "A memory read produces a data response to the directory.",
+      "[Select inmsg, outmsg from M where inmsg = \"mread\" and "
+      "not outmsg = \"data\"] = empty");
+
+  inv(p, "mem-write-acknowledged",
+      "A memory write produces an acknowledgement.",
+      "[Select inmsg, outmsg from M where inmsg = \"mwrite\" and "
+      "not outmsg = \"mdone\"] = empty");
+
+  inv(p, "mem-wb-completes",
+      "Processing a forwarded writeback produces a compl response on the "
+      "home->home response channel (Figure 4's row R1).",
+      "[Select inmsg, outmsg, outmsgsrc, outmsgdest from M where "
+      "inmsg = \"wb\" and (not outmsg = \"compl\" or "
+      "not outmsgsrc = home or not outmsgdest = home)] = empty");
+
+  inv(p, "mem-rmw-acknowledged",
+      "A memory read-modify-write performs a write and is acknowledged.",
+      "[Select inmsg, memop, outmsg from M where inmsg = \"mrmw\" and "
+      "(not memop = wr or not outmsg = \"mdone\")] = empty");
+
+  inv(p, "mem-posted-update-silent",
+      "A posted update produces no response.",
+      "[Select inmsg, outmsg from M where inmsg = \"mupd\" and "
+      "not outmsg = NULL] = empty");
+
+  inv(p, "mem-op-direction",
+      "Reads perform a memory read, writes a memory write.",
+      "[Select inmsg, memop from M where inmsg = \"mread\" and "
+      "not memop = rd] = empty and "
+      "[Select inmsg, memop from M where not inmsg = \"mread\" and "
+      "not memop = wr] = empty");
+
+  // ---- Node controller -----------------------------------------------------------
+  inv(p, "nc-proc-ops-only-when-idle",
+      "Processor operations are accepted only when no transaction is "
+      "outstanding.",
+      "[Select inmsg, ncst from NC where inmsg in (prd, pwr, pup, pwb, "
+      "pfl) and not ncst = idle] = empty");
+
+  inv(p, "nc-proc-op-issues-request",
+      "Every accepted processor operation issues the corresponding network "
+      "request.",
+      "[Select inmsg, netmsg from NC where inmsg = prd and "
+      "not netmsg = \"read\"] = empty and "
+      "[Select inmsg, netmsg from NC where inmsg = pwr and "
+      "not netmsg = \"readex\"] = empty and "
+      "[Select inmsg, netmsg from NC where inmsg = pwb and "
+      "not netmsg = \"wb\"] = empty");
+
+  inv(p, "nc-retry-reissues",
+      "A retry response re-issues the pending operation and stays in the "
+      "wait state — except for an absorbed writeback (w-wb-x), whose "
+      "bounced retry ends the transaction.",
+      "[Select inmsg, netmsg, nxtncst from NC where inmsg = \"retry\" and "
+      "not ncst = \"w-wb-x\" and "
+      "(netmsg = NULL or not nxtncst = NULL)] = empty and "
+      "[Select inmsg, ncst, netmsg, nxtncst from NC where "
+      "inmsg = \"retry\" and ncst = \"w-wb-x\" and "
+      "(not netmsg = NULL or not nxtncst = idle)] = empty");
+
+  inv(p, "nc-data-fills-cache",
+      "Every data response fills the cache (shared for reads, exclusive "
+      "for read-exclusives) and notifies the processor.",
+      "[Select inmsg, ncst, fillmsg from NC where inmsg = \"data\" and "
+      "ncst in (w-rd, w-rd-d) and not fillmsg = pfill] = empty and "
+      "[Select inmsg, ncst, fillmsg from NC where inmsg = \"data\" and "
+      "ncst in (w-rx, w-rx-d) and not fillmsg = pfillx] = empty and "
+      "[Select inmsg, procmsg from NC where inmsg = \"data\" and "
+      "not procmsg = pdata] = empty");
+
+  inv(p, "nc-writeback-invalidates",
+      "Issuing a writeback or flush invalidates the local copy.",
+      "[Select inmsg, fillmsg from NC where inmsg in (pwb, pfl) and "
+      "not fillmsg = pinv] = empty");
+
+  inv(p, "nc-completion-returns-idle",
+      "The final completion returns the controller to idle and notifies "
+      "the processor.",
+      "[Select inmsg, ncst, nxtncst, procmsg from NC where "
+      "inmsg = \"compl\" and ncst in (w-rd-c, w-rx-c, w-up-c, w-wb, w-fl) and "
+      "(not nxtncst = idle or not procmsg = pdone)] = empty");
+
+  // ---- Cache controller ------------------------------------------------------------
+  inv(p, "cc-fill-into-invalid",
+      "Shared fills only target an invalid frame; exclusive fills target an "
+      "invalid frame or upgrade a shared one, and always install M.",
+      "[Select inmsg, cst from CC where inmsg = pfill and "
+      "not cst = \"I\"] = empty and "
+      "[Select inmsg, cst from CC where inmsg = pfillx and "
+      "not cst in (\"I\", \"S\")] = empty and "
+      "[Select inmsg, nxtcst from CC where inmsg = pfillx and "
+      "not nxtcst = \"M\"] = empty");
+
+  inv(p, "cc-snoop-commands-acknowledged",
+      "Every snoop command produces its cache-level response.",
+      "[Select inmsg, outmsg from CC where inmsg = cinv and "
+      "not outmsg = cack] = empty and "
+      "[Select inmsg, outmsg from CC where inmsg = cfetch and "
+      "not outmsg = cdata] = empty and "
+      "[Select inmsg, outmsg from CC where inmsg = cflush and "
+      "not outmsg = cwbdata] = empty");
+
+  inv(p, "cc-invalidations-invalidate",
+      "Invalidations and flushes leave the line invalid.",
+      "[Select inmsg, nxtcst from CC where inmsg in (pinv, cinv, cflush) "
+      "and not nxtcst = \"I\"] = empty");
+
+  inv(p, "cc-fetch-downgrades-owner",
+      "A fetch downgrades an exclusive/modified copy to shared.",
+      "[Select inmsg, cst, nxtcst from CC where inmsg = cfetch and "
+      "cst in (\"E\", \"M\") and not nxtcst = \"S\"] = empty");
+
+  inv(p, "cc-write-hit-dirties",
+      "A write hit on an exclusive copy moves it to modified.",
+      "[Select inmsg, cst, nxtcst from CC where inmsg = pwr and "
+      "cst = \"E\" and not nxtcst = \"M\"] = empty");
+
+  inv(p, "cc-hit-miss-consistency",
+      "Processor reads hit on any valid copy and miss on invalid; writes "
+      "hit only on E/M.",
+      "[Select inmsg, cst, outmsg from CC where inmsg = prd and "
+      "not cst = \"I\" and not outmsg = hit] = empty and "
+      "[Select inmsg, cst, outmsg from CC where inmsg = prd and "
+      "cst = \"I\" and not outmsg = miss] = empty and "
+      "[Select inmsg, cst, outmsg from CC where inmsg = pwr and "
+      "cst in (\"I\", \"S\") and not outmsg = miss] = empty");
+
+  // ---- Remote snoop engine ------------------------------------------------------------
+  inv(p, "rsn-snoops-only-when-idle",
+      "Home serializes snoops per line: a snoop arrives only when the "
+      "engine is idle.",
+      "[Select inmsg, rsnst from RSN where inmsg in (sinv, sfetch, sflush) "
+      "and not rsnst = idle] = empty");
+
+  inv(p, "rsn-forwards-commands",
+      "Every snoop is forwarded to the caches as the matching command.",
+      "[Select inmsg, cmdmsg from RSN where inmsg = \"sinv\" and "
+      "not cmdmsg = cinv] = empty and "
+      "[Select inmsg, cmdmsg from RSN where inmsg = \"sfetch\" and "
+      "not cmdmsg = cfetch] = empty and "
+      "[Select inmsg, cmdmsg from RSN where inmsg = \"sflush\" and "
+      "not cmdmsg = cflush] = empty");
+
+  inv(p, "rsn-responds-home",
+      "Every cache-level response is translated into the home-level "
+      "response.",
+      "[Select inmsg, homemsg from RSN where inmsg = cack and "
+      "not homemsg = \"idone\"] = empty and "
+      "[Select inmsg, homemsg from RSN where inmsg = cdata and "
+      "not homemsg = \"rdata\"] = empty and "
+      "[Select inmsg, homemsg from RSN where inmsg = cwbdata and "
+      "not homemsg = \"fdone\"] = empty");
+
+  inv(p, "rsn-response-matches-pending",
+      "Cache responses arrive only in the matching wait state.",
+      "[Select inmsg, rsnst from RSN where inmsg = cack and "
+      "not rsnst = w-inv] = empty and "
+      "[Select inmsg, rsnst from RSN where inmsg = cdata and "
+      "not rsnst = w-fetch] = empty and "
+      "[Select inmsg, rsnst from RSN where inmsg = cwbdata and "
+      "not rsnst = w-flush] = empty");
+
+  inv(p, "rsn-returns-idle",
+      "Responding to home returns the engine to idle.",
+      "[Select inmsg, nxtrsnst from RSN where inmsg in (cack, cdata, "
+      "cwbdata) and not nxtrsnst = idle] = empty");
+
+  // ---- Remote access cache ----------------------------------------------------------------
+  inv(p, "rac-full-retries",
+      "A request that cannot allocate an entry is retried locally and not "
+      "forwarded.",
+      "[Select inmsg, racfull, locresp, fwdmsg from RAC where "
+      "isrequest(inmsg) and racfull = full and (not locresp = \"retry\" or "
+      "not fwdmsg = NULL)] = empty");
+
+  inv(p, "rac-serializes-line",
+      "A second request to a pending line is retried (one outstanding "
+      "transaction per line).",
+      "[Select inmsg, racst, locresp from RAC where isrequest(inmsg) and "
+      "racst = pend and not locresp = \"retry\"] = empty");
+
+  inv(p, "rac-forwards-when-free",
+      "An accepted request is forwarded to home and allocates an entry.",
+      "[Select inmsg, fwdmsg, racop from RAC where isrequest(inmsg) and "
+      "racst = \"I\" and racfull = notfull and "
+      "(fwdmsg = NULL or not racop = alloc)] = empty");
+
+  inv(p, "rac-responses-forwarded",
+      "Every response is forwarded to the node-level controllers.",
+      "[Select inmsg, fwdmsg, fwdmsgdest from RAC where "
+      "isresponse(inmsg) and (fwdmsg = NULL or "
+      "not fwdmsgdest = local)] = empty");
+
+  inv(p, "rac-final-response-frees",
+      "The final response of a transaction frees the entry; an "
+      "intermediate data response keeps it.",
+      "[Select inmsg, racop from RAC where inmsg in (\"compl\", \"retry\", "
+      "\"iodata\", \"iocompl\", \"intack\") and not racop = free] = empty "
+      "and [Select inmsg, racop from RAC where inmsg = \"data\" and "
+      "not racop = NULL] = empty");
+
+  // ---- I/O and interrupt controllers ---------------------------------------------------------
+  inv(p, "ioc-device-ops-issue",
+      "Device operations issue the uncached transactions.",
+      "[Select inmsg, outmsg from IOC where inmsg = iord and "
+      "not outmsg = \"rdio\"] = empty and "
+      "[Select inmsg, outmsg from IOC where inmsg = iowr and "
+      "not outmsg = \"wrio\"] = empty");
+
+  inv(p, "ioc-completions-notify-device",
+      "I/O completions notify the device and return to idle.",
+      "[Select inmsg, devmsg, nxtiocst from IOC where inmsg = \"iodata\" "
+      "and (not devmsg = devdata or not nxtiocst = idle)] = empty and "
+      "[Select inmsg, devmsg, nxtiocst from IOC where inmsg = \"iocompl\" "
+      "and (not devmsg = devdone or not nxtiocst = idle)] = empty");
+
+  inv(p, "ioc-retry-reissues",
+      "A retried I/O transaction is re-issued.",
+      "[Select inmsg, iocst, outmsg from IOC where inmsg = \"retry\" and "
+      "iocst = w-rd and not outmsg = \"rdio\"] = empty and "
+      "[Select inmsg, iocst, outmsg from IOC where inmsg = \"retry\" and "
+      "iocst = w-wr and not outmsg = \"wrio\"] = empty");
+
+  inv(p, "int-dispatch",
+      "Processor interrupts are dispatched to home and acknowledged back "
+      "to the processor.",
+      "[Select inmsg, outmsg from INT where inmsg = pint and "
+      "not outmsg = \"intr\"] = empty and "
+      "[Select inmsg, procmsg, nxtintst from INT where inmsg = \"intack\" "
+      "and (not procmsg = pdone or not nxtintst = idle)] = empty");
+
+  inv(p, "int-state-communication",
+      "State-communication requests are answered immediately.",
+      "[Select inmsg, outmsg from INT where inmsg = \"sstate\" and "
+      "not outmsg = \"astate\"] = empty");
+}
+
+}  // namespace ccsql::asura::detail

@@ -1,0 +1,106 @@
+#include "protocol/asura/asura_internal.hpp"
+
+namespace ccsql::asura::detail {
+
+// The ASURA protocol uses around 50 message types (paper, section 2).  The
+// published ones (Figure 1 and the running examples) are reproduced with
+// their published names; the remainder are synthesized to complete each
+// controller's vocabulary.
+void add_messages(ProtocolSpec& p) {
+  auto& m = p.messages();
+  const auto req = MessageClass::kRequest;
+  const auto rsp = MessageClass::kResponse;
+
+  // Processor <-> node controller (local node internal).
+  m.add("prd", req, "processor read");
+  m.add("pwr", req, "processor write (allocating)");
+  m.add("pup", req, "processor upgrade (S -> M)");
+  m.add("pwb", req, "processor-initiated writeback");
+  m.add("pfl", req, "processor cache flush");
+  m.add("pdata", rsp, "data delivered to processor");
+  m.add("pdone", rsp, "operation completed to processor");
+
+  // Local node -> home directory memory requests (published names).
+  m.add("read", req, "read shared");
+  m.add("readex", req, "read exclusive");
+  m.add("upgr", req, "upgrade shared copy to exclusive");
+  m.add("wb", req, "writeback of a modified line");
+  m.add("flush", req, "flush line from all caches");
+
+  // I/O transactions.
+  m.add("iord", req, "device read at the local node");
+  m.add("iowr", req, "device write at the local node");
+  m.add("rdio", req, "uncached I/O read to home");
+  m.add("wrio", req, "uncached I/O write to home");
+  m.add("iodata", rsp, "I/O read data to local");
+  m.add("iocompl", rsp, "I/O write completion to local");
+  m.add("devdata", rsp, "I/O data to the device");
+  m.add("devdone", rsp, "I/O completion to the device");
+
+  // Interrupt / special transactions.
+  m.add("pint", req, "processor interrupt dispatch");
+  m.add("intr", req, "interrupt to home");
+  m.add("intack", rsp, "interrupt acknowledged");
+  m.add("sstate", req, "state communication between controllers");
+  m.add("astate", rsp, "state communication acknowledgement");
+
+  // Replacement hints and atomics.
+  m.add("pevict", req, "processor replaces a shared line");
+  m.add("evict", req, "shared-copy eviction hint to home");
+  m.add("patomic", req, "processor atomic read-modify-write");
+  m.add("atomic", req, "uncached atomic read-modify-write at home");
+  m.add("mrmw", req, "memory read-modify-write");
+
+  // Home directory -> remote snoops (published names).
+  m.add("sinv", req, "snoop: invalidate shared copies");
+  m.add("sfetch", req, "snoop: fetch data from owner, downgrade to shared");
+  m.add("sflush", req, "snoop: flush owner copy (fetch + invalidate)");
+
+  // Remote snoop engine <-> caches at the remote quad.
+  m.add("cinv", req, "cache invalidate command");
+  m.add("cfetch", req, "cache fetch command");
+  m.add("cflush", req, "cache flush command");
+  m.add("cack", rsp, "cache invalidate acknowledged");
+  m.add("cdata", rsp, "cache data (downgrade)");
+  m.add("cwbdata", rsp, "cache data (flush/writeback)");
+
+  // Remote -> home responses (published names: idone).
+  m.add("idone", rsp, "invalidation done");
+  m.add("rdata", rsp, "remote owner data to home");
+  m.add("fdone", rsp, "flush done, data to home");
+
+  // Home directory <-> home memory (published names: mread).
+  m.add("mread", req, "memory read");
+  m.add("mwrite", req, "memory write");
+  m.add("mupd", req, "posted memory update (no acknowledgement)");
+  m.add("mdone", rsp, "memory write acknowledged");
+
+  // Home -> local responses (published names: compl, data, retry).
+  m.add("compl", rsp, "transaction completion");
+  m.add("data", rsp, "memory data");
+  m.add("retry", rsp, "request must be retried");
+  m.add("nack", rsp, "negative acknowledgement");
+  // Local -> home grant acknowledgement: the directory keeps the line busy
+  // until the requester confirms it consumed a copy-installing grant, so
+  // no snoop can ever overtake a grant in flight.
+  m.add("gdone", rsp, "grant consumed by the requester");
+
+  // Node controller -> cache fills / invalidations (local).
+  m.add("pfill", req, "fill cache line shared");
+  m.add("pfillx", req, "fill cache line exclusive");
+  m.add("pinv", req, "invalidate local cache line");
+
+  // Cache -> node controller hit/miss indications.
+  m.add("hit", rsp, "cache hit");
+  m.add("miss", rsp, "cache miss");
+
+  // Node-internal: a snoop invalidation hitting a line whose writeback is
+  // still in flight absorbs the writeback; the node controller is told to
+  // drop the transaction (late-writeback race).
+  m.add("wbcancel", req, "pending writeback absorbed by an invalidation");
+
+  // Implementation-defined (section 5): the directory feedback request.
+  m.add("Dfdback", req, "directory update feedback (implementation only)");
+}
+
+}  // namespace ccsql::asura::detail

@@ -1,0 +1,76 @@
+#include "protocol/asura/asura_internal.hpp"
+
+namespace ccsql::asura::detail {
+
+// The remote access cache controller RAC at the local quad's protocol
+// engine: allocates an entry per outstanding remote transaction, forwards
+// requests to home and responses back to the node controller, retries
+// requests immediately when the RAC is full, and enforces one outstanding
+// transaction per line.
+void add_rac(ProtocolSpec& p) {
+  auto& c = p.add_controller(kRac);
+
+  c.add_input("inmsg", {"read", "readex", "upgr", "wb", "flush", "rdio",
+                        "wrio", "intr", "compl", "data", "retry", "iodata",
+                        "iocompl", "intack"});
+  c.add_input("inmsgsrc", {"local", "home"});
+  c.add_input("inmsgdest", {"local"});
+  c.add_input("racst", {"I", "pend"});
+  c.add_input("racfull", {"full", "notfull"});
+
+  c.add_output("fwdmsg", {"NULL", "read", "readex", "upgr", "wb", "flush",
+                          "rdio", "wrio", "intr", "compl", "data", "retry",
+                          "iodata", "iocompl", "intack"});
+  c.add_output("fwdmsgsrc", {"NULL", "local", "home"});
+  c.add_output("fwdmsgdest", {"NULL", "local", "home"});
+  c.add_output("locresp", {"NULL", "retry"});
+  c.add_output("nxtracst", {"NULL", "I", "pend"});
+  c.add_output("racop", {"NULL", "alloc", "free"});
+
+  // Outbound requests come from the node (local role); inbound responses
+  // from home.
+  c.constrain("inmsgsrc",
+              "isrequest(inmsg) ? inmsgsrc = local : inmsgsrc = home");
+  c.constrain("inmsgdest", "inmsgdest = local");
+
+  // Responses only arrive for a pending entry; occupancy is only
+  // meaningful for fresh requests.
+  c.constrain("racst", "isresponse(inmsg) ? racst = pend : true");
+  c.constrain("racfull",
+              "isresponse(inmsg) or racst = pend ? racfull = notfull : true");
+
+  // Forwarding: fresh requests to home when an entry is available;
+  // responses back to the node controller.
+  c.constrain("fwdmsg",
+              "isrequest(inmsg) ? "
+              "(racst = I and racfull = notfull ? fwdmsg = inmsg : "
+              "fwdmsg = NULL) : fwdmsg = inmsg");
+  // Requests are injected into the local->home channel; responses are
+  // handed to the node-level controllers over the intra-quad (local,local)
+  // path, which occupies no virtual channel.  This decoupling is what lets
+  // the response channels be pure sinks in the deadlock analysis.
+  c.constrain("fwdmsgsrc",
+              "fwdmsg = NULL ? fwdmsgsrc = NULL : fwdmsgsrc = local");
+  c.constrain("fwdmsgdest",
+              "fwdmsg = NULL ? fwdmsgdest = NULL : "
+              "(isrequest(inmsg) ? fwdmsgdest = home : fwdmsgdest = local)");
+
+  // Immediate retry when the request cannot be accepted (RAC full or line
+  // already pending).
+  c.constrain("locresp",
+              "isrequest(inmsg) and (racst = pend or racfull = full) ? "
+              "locresp = retry : locresp = NULL");
+
+  c.constrain("nxtracst",
+              "isrequest(inmsg) ? "
+              "(fwdmsg = NULL ? nxtracst = NULL : nxtracst = pend) : "
+              "(inmsg = data ? nxtracst = NULL : nxtracst = I)");
+  c.constrain("racop",
+              "nxtracst = pend ? racop = alloc : "
+              "(nxtracst = I ? racop = free : racop = NULL)");
+
+  c.add_message_triple({"inmsg", "inmsgsrc", "inmsgdest", true});
+  c.add_message_triple({"fwdmsg", "fwdmsgsrc", "fwdmsgdest", false});
+}
+
+}  // namespace ccsql::asura::detail

@@ -1,0 +1,58 @@
+#include "protocol/channel_assignment.hpp"
+
+#include <algorithm>
+
+namespace ccsql {
+
+void ChannelAssignment::assign(std::string_view msg, std::string_view src,
+                               std::string_view dst, std::string_view vc) {
+  const Key key{Symbol::intern(msg), Symbol::intern(src),
+                Symbol::intern(dst)};
+  const Value channel = Symbol::intern(vc);
+  if (auto it = index_.find(key); it != index_.end()) {
+    entries_[it->second].second = channel;
+    return;
+  }
+  index_.emplace(key, entries_.size());
+  entries_.emplace_back(key, channel);
+}
+
+void ChannelAssignment::unassign(std::string_view msg, std::string_view src,
+                                 std::string_view dst) {
+  const Key key{Symbol::intern(msg), Symbol::intern(src),
+                Symbol::intern(dst)};
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  const std::size_t pos = it->second;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [k, idx] : index_) {
+    if (idx > pos) --idx;
+  }
+}
+
+std::optional<Value> ChannelAssignment::vc_for(Value msg, Value src,
+                                               Value dst) const {
+  auto it = index_.find(Key{msg, src, dst});
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second].second;
+}
+
+std::vector<Value> ChannelAssignment::channels() const {
+  std::vector<Value> out;
+  for (const auto& [key, vc] : entries_) {
+    if (std::find(out.begin(), out.end(), vc) == out.end()) out.push_back(vc);
+  }
+  return out;
+}
+
+Table ChannelAssignment::to_table() const {
+  Table t(Schema::of({"m", "s", "d", "v"}));
+  t.reserve_rows(entries_.size());
+  for (const auto& [key, vc] : entries_) {
+    t.append({key.m, key.s, key.d, vc});
+  }
+  return t;
+}
+
+}  // namespace ccsql

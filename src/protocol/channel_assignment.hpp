@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/table.hpp"
+#include "relational/value.hpp"
+
+namespace ccsql {
+
+/// The virtual-channel assignment table V of the paper (section 4.1): for
+/// each (message, source-role, destination-role) triple, the virtual channel
+/// the message travels on.  Messages deliberately left unassigned model
+/// dedicated hardware paths — they occupy no virtual channel and therefore
+/// contribute no channel dependencies (this is exactly the paper's fix for
+/// the Figure 4 deadlock).
+class ChannelAssignment {
+ public:
+  ChannelAssignment() = default;
+  explicit ChannelAssignment(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Assigns (msg, src, dst) -> vc.  Re-assigning a triple replaces the
+  /// previous channel (the paper's iterative re-assignment workflow).
+  void assign(std::string_view msg, std::string_view src,
+              std::string_view dst, std::string_view vc);
+
+  /// Removes a triple, modelling a dedicated (non-virtual-channel) path.
+  void unassign(std::string_view msg, std::string_view src,
+                std::string_view dst);
+
+  /// The channel for a triple, or nullopt for dedicated paths / unknown
+  /// messages.
+  [[nodiscard]] std::optional<Value> vc_for(Value msg, Value src,
+                                            Value dst) const;
+
+  /// Distinct channels, in first-assignment order.
+  [[nodiscard]] std::vector<Value> channels() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Renders V as a database table with columns m, s, d, v.
+  [[nodiscard]] Table to_table() const;
+
+ private:
+  struct Key {
+    Value m, s, d;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = std::hash<Value>{}(k.m);
+      h = h * 1000003u ^ std::hash<Value>{}(k.s);
+      h = h * 1000003u ^ std::hash<Value>{}(k.d);
+      return h;
+    }
+  };
+
+  std::string name_;
+  std::vector<std::pair<Key, Value>> entries_;  // insertion order
+  std::unordered_map<Key, std::size_t, KeyHash> index_;
+};
+
+}  // namespace ccsql

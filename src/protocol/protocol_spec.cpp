@@ -1,0 +1,61 @@
+#include "protocol/protocol_spec.hpp"
+
+#include "relational/error.hpp"
+
+namespace ccsql {
+
+ProtocolSpec::ProtocolSpec(std::string name) : name_(std::move(name)) {}
+
+ControllerSpec& ProtocolSpec::add_controller(std::string name) {
+  controllers_.push_back(std::make_unique<ControllerSpec>(std::move(name)));
+  return *controllers_.back();
+}
+
+const ControllerSpec& ProtocolSpec::controller(std::string_view name) const {
+  for (const auto& c : controllers_) {
+    if (c->name() == name) return *c;
+  }
+  throw BindError("unknown controller: " + std::string(name));
+}
+
+void ProtocolSpec::add_invariant(NamedInvariant inv) {
+  invariants_.push_back(std::move(inv));
+}
+
+ChannelAssignment& ProtocolSpec::add_assignment(std::string name) {
+  assignments_.push_back(std::make_unique<ChannelAssignment>(name));
+  return *assignments_.back();
+}
+
+const ChannelAssignment& ProtocolSpec::assignment(
+    std::string_view name) const {
+  for (const auto& a : assignments_) {
+    if (a->name() == name) return *a;
+  }
+  throw BindError("unknown channel assignment: " + std::string(name));
+}
+
+void ProtocolSpec::install_functions() { messages_.install(functions_); }
+
+const Catalog& ProtocolSpec::database() const {
+  if (!built_) {
+    catalog_ = Catalog();
+    messages_.install(functions_);
+    // Mirror the full registry (message predicates + protocol-specific
+    // functions) so WHERE clauses in invariants can use all of them.
+    catalog_.functions() = functions_;
+    for (const auto& c : controllers_) {
+      catalog_.put(c->name(), c->generate(&functions_));
+    }
+    catalog_.put("Messages", messages_.to_table());
+    built_ = true;
+  }
+  return catalog_;
+}
+
+void ProtocolSpec::invalidate() {
+  built_ = false;
+  for (auto& c : controllers_) c->invalidate();
+}
+
+}  // namespace ccsql

@@ -1,0 +1,38 @@
+#include "protocol/roles.hpp"
+
+namespace ccsql {
+
+std::string_view to_string(QuadPlacement p) noexcept {
+  switch (p) {
+    case QuadPlacement::kAllDistinct:
+      return "L!=H!=R";
+    case QuadPlacement::kAllSame:
+      return "L=H=R";
+    case QuadPlacement::kLocalHome:
+      return "L=H!=R";
+    case QuadPlacement::kHomeRemote:
+      return "L!=H=R";
+    case QuadPlacement::kLocalRemote:
+      return "L=R!=H";
+  }
+  return "?";
+}
+
+Value place_role(QuadPlacement p, Value role) {
+  const Value l = roles::local(), h = roles::home(), r = roles::remote();
+  switch (p) {
+    case QuadPlacement::kAllDistinct:
+      return role;
+    case QuadPlacement::kAllSame:
+      return (role == l || role == r) ? h : role;
+    case QuadPlacement::kLocalHome:
+      return role == l ? h : role;
+    case QuadPlacement::kHomeRemote:
+      return role == r ? h : role;
+    case QuadPlacement::kLocalRemote:
+      return role == r ? l : role;
+  }
+  return role;
+}
+
+}  // namespace ccsql

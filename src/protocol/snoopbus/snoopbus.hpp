@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+
+#include "protocol/protocol_spec.hpp"
+
+namespace ccsql::snoopbus {
+
+/// A second, independent protocol built with the same machinery — the
+/// paper's generality claim ("the approach can be easily applied to other
+/// cache coherence protocols such as those described in [2, 10]").  This is
+/// a miniature split-transaction snooping-bus MSI protocol in the style of
+/// Sorin et al. [10]: requesters broadcast GetS / GetM / PutM on an ordered
+/// request bus; the owner (a modified cache or memory) answers on a data
+/// network; writebacks are acknowledged by memory.
+///
+/// Controllers:
+///   SC   the snooping cache controller (requester and snooper roles)
+///   MC   the memory controller (owner of last resort)
+///   ARB  the bus arbiter / order point
+///
+/// Channel assignments:
+///   shared  data responses share the request bus — cyclic (a request
+///           cannot be drained while the data it waits for is behind it)
+///   split   dedicated data network — deadlock-free
+inline constexpr const char* kCache = "SC";
+inline constexpr const char* kMemory = "MC";
+inline constexpr const char* kArbiter = "ARB";
+
+inline constexpr const char* kAssignShared = "shared";
+inline constexpr const char* kAssignSplit = "split";
+
+std::unique_ptr<ProtocolSpec> make_snoopbus();
+
+}  // namespace ccsql::snoopbus

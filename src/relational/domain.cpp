@@ -1,0 +1,37 @@
+#include "relational/domain.hpp"
+
+#include <algorithm>
+
+namespace ccsql {
+
+Domain::Domain(std::string column, std::vector<std::string> values)
+    : column_(std::move(column)) {
+  values_.reserve(values.size());
+  for (const auto& v : values) add(Symbol::intern(v));
+}
+
+Domain::Domain(std::string column, std::vector<Value> values)
+    : column_(std::move(column)) {
+  values_.reserve(values.size());
+  for (Value v : values) add(v);
+}
+
+bool Domain::contains(Value v) const noexcept {
+  return std::find(values_.begin(), values_.end(), v) != values_.end();
+}
+
+Domain Domain::with_null() const {
+  if (contains(null_value())) return *this;
+  Domain d;
+  d.column_ = column_;
+  d.values_.reserve(values_.size() + 1);
+  d.values_.push_back(null_value());
+  d.values_.insert(d.values_.end(), values_.begin(), values_.end());
+  return d;
+}
+
+void Domain::add(Value v) {
+  if (!contains(v)) values_.push_back(v);
+}
+
+}  // namespace ccsql

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/value.hpp"
+
+namespace ccsql {
+
+/// A "column table" (paper, section 3): the set of values that are legal in
+/// one column of a controller table.  Per the paper every column table also
+/// contains the special NULL value, denoting don't-care for input columns
+/// and no-op for output columns; call with_null() to add it.
+class Domain {
+ public:
+  Domain() = default;
+
+  /// Builds a domain over the given value texts (interned in order).
+  Domain(std::string column, std::vector<std::string> values);
+
+  /// Builds a domain over pre-interned values.
+  Domain(std::string column, std::vector<Value> values);
+
+  [[nodiscard]] const std::string& column() const noexcept { return column_; }
+  [[nodiscard]] const std::vector<Value>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool contains(Value v) const noexcept;
+
+  /// Returns a copy with NULL prepended (if not already present).
+  [[nodiscard]] Domain with_null() const;
+
+  /// Appends `v` if not already present.
+  void add(Value v);
+
+ private:
+  std::string column_;
+  std::vector<Value> values_;
+};
+
+}  // namespace ccsql

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccsql {
+
+/// Base class for all errors raised by the ccsql libraries.
+///
+/// Every failure that stems from user-supplied input (malformed constraint
+/// text, unknown column names, schema mismatches, inconsistent constraint
+/// sets, ...) is reported via an exception derived from this type so that
+/// callers can distinguish input errors from logic errors (assertions).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when constraint or query text fails to parse.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an expression references a column or function that does not
+/// exist in the schema / registry it is compiled against.
+class BindError : public Error {
+ public:
+  explicit BindError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when two tables are combined with incompatible schemas.
+class SchemaError : public Error {
+ public:
+  explicit SchemaError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ccsql

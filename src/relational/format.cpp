@@ -1,0 +1,112 @@
+#include "relational/format.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "relational/error.hpp"
+
+namespace ccsql {
+
+std::string to_ascii(const Table& t, std::size_t max_rows) {
+  const std::size_t ncol = t.column_count();
+  const std::size_t nrow = t.row_count();
+  const std::size_t shown =
+      (max_rows == 0 || nrow <= max_rows) ? nrow : max_rows;
+
+  std::vector<std::size_t> widths(ncol);
+  for (std::size_t c = 0; c < ncol; ++c) {
+    widths[c] = t.schema().column(c).name.size();
+  }
+  auto cell = [&](std::size_t r, std::size_t c) -> std::string {
+    const Value v = t.at(r, c);
+    return v.is_null() ? std::string("-") : std::string(v.str());
+  };
+  for (std::size_t r = 0; r < shown; ++r) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      widths[c] = std::max(widths[c], cell(r, c).size());
+    }
+  }
+
+  std::ostringstream os;
+  auto pad = [&](const std::string& s, std::size_t w) {
+    os << s << std::string(w - s.size() + 2, ' ');
+  };
+  for (std::size_t c = 0; c < ncol; ++c) {
+    pad(t.schema().column(c).name, widths[c]);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < ncol; ++c) {
+    os << std::string(widths[c], '-') << "  ";
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < shown; ++r) {
+    for (std::size_t c = 0; c < ncol; ++c) pad(cell(r, c), widths[c]);
+    os << '\n';
+  }
+  if (shown < nrow) {
+    os << "... (" << (nrow - shown) << " more rows)\n";
+  }
+  return os.str();
+}
+
+std::string to_csv(const Table& t) {
+  std::ostringstream os;
+  const std::size_t ncol = t.column_count();
+  for (std::size_t c = 0; c < ncol; ++c) {
+    if (c > 0) os << ',';
+    os << t.schema().column(c).name;
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      if (c > 0) os << ',';
+      const Value v = t.at(r, c);
+      if (!v.is_null()) os << v.str();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Table from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line)) throw ParseError("from_csv: empty document");
+  Table t(Schema::of(split_csv_line(line)));
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto cells = split_csv_line(line);
+    if (cells.size() != t.column_count()) {
+      throw ParseError("from_csv: row arity mismatch");
+    }
+    t.append_texts(cells);
+  }
+  return t;
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << to_ascii(t);
+}
+
+}  // namespace ccsql

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/table.hpp"
+
+namespace ccsql {
+
+/// Renders `t` as an aligned ASCII table (column header row, separator,
+/// one line per row).  NULL cells render as '-' to match the paper's
+/// figures.  `max_rows` truncates long tables (0 = no limit).
+std::string to_ascii(const Table& t, std::size_t max_rows = 0);
+
+/// Renders `t` as CSV (header + rows, NULL as empty cell).
+std::string to_csv(const Table& t);
+
+/// Parses a CSV document produced by to_csv back into a table (all columns
+/// kInput).  Intended for golden-file tests, not a general CSV reader.
+Table from_csv(const std::string& csv);
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace ccsql

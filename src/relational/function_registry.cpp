@@ -1,0 +1,22 @@
+#include "relational/function_registry.hpp"
+
+namespace ccsql {
+
+void FunctionRegistry::add(std::string name, Predicate fn) {
+  fns_[std::move(name)] = std::move(fn);
+}
+
+void FunctionRegistry::add_unary(std::string name,
+                                 std::function<bool(Value)> fn) {
+  add(std::move(name), [f = std::move(fn)](std::span<const Value> args) {
+    return args.size() == 1 && f(args[0]);
+  });
+}
+
+const FunctionRegistry::Predicate* FunctionRegistry::find(
+    const std::string& name) const {
+  auto it = fns_.find(name);
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ccsql

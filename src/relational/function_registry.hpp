@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "relational/value.hpp"
+
+namespace ccsql {
+
+/// Named boolean predicates usable in constraint expressions, e.g. the
+/// paper's `isrequest(inmsg)`.  Protocols register their own predicates
+/// (typically classification of the message catalog) and hand the registry
+/// to the expression compiler.
+class FunctionRegistry {
+ public:
+  /// A predicate over already-evaluated argument values.
+  using Predicate = std::function<bool(std::span<const Value>)>;
+
+  /// Registers (or replaces) a predicate under `name`.
+  void add(std::string name, Predicate fn);
+
+  /// Convenience: registers a unary predicate.
+  void add_unary(std::string name, std::function<bool(Value)> fn);
+
+  /// Returns the predicate, or nullptr if unknown.
+  [[nodiscard]] const Predicate* find(const std::string& name) const;
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+
+ private:
+  std::unordered_map<std::string, Predicate> fns_;
+};
+
+}  // namespace ccsql

@@ -1,0 +1,125 @@
+#include "relational/lexer.hpp"
+
+#include <cctype>
+
+#include "relational/error.hpp"
+
+namespace ccsql {
+namespace {
+
+bool is_ident_start(char c) {
+  // Digits may start identifiers: bare value literals such as `1` or `16`
+  // appear in constraints (column names conventionally start with a letter).
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto push = [&](TokenKind k, std::string t, std::size_t pos) {
+    out.push_back(Token{k, std::move(t), pos});
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t pos = i;
+    switch (c) {
+      case '=':
+        push(TokenKind::kEq, "=", pos);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", pos);
+          i += 2;
+          continue;
+        }
+        throw ParseError("lex: stray '!' at offset " + std::to_string(pos));
+      case '<':
+        if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", pos);
+          i += 2;
+          continue;
+        }
+        throw ParseError("lex: stray '<' at offset " + std::to_string(pos));
+      case '?':
+        push(TokenKind::kQuestion, "?", pos);
+        ++i;
+        continue;
+      case ':':
+        push(TokenKind::kColon, ":", pos);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(", pos);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", pos);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, "[", pos);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, "]", pos);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", pos);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", pos);
+        ++i;
+        continue;
+      case '"': {
+        std::size_t j = i + 1;
+        while (j < n && text[j] != '"') ++j;
+        if (j >= n) {
+          throw ParseError("lex: unterminated string at offset " +
+                           std::to_string(pos));
+        }
+        push(TokenKind::kString, std::string(text.substr(i + 1, j - i - 1)),
+             pos);
+        i = j + 1;
+        continue;
+      }
+      default:
+        break;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        if (is_ident_char(text[j])) {
+          ++j;
+        } else if (text[j] == '-' && j + 1 < n && is_ident_char(text[j + 1])) {
+          // internal dash, as in "Busy-sd"
+          j += 2;
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kIdent, std::string(text.substr(i, j - i)), pos);
+      i = j;
+      continue;
+    }
+    throw ParseError(std::string("lex: unexpected character '") + c +
+                     "' at offset " + std::to_string(pos));
+  }
+  push(TokenKind::kEnd, "", n);
+  return out;
+}
+
+}  // namespace ccsql

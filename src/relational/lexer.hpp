@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccsql {
+
+/// Token kinds of the constraint / query language.
+enum class TokenKind {
+  kIdent,     // bare identifier (column name, value literal, function name)
+  kString,    // "quoted" value literal
+  kEq,        // =
+  kNe,        // != or <>
+  kQuestion,  // ?
+  kColon,     // :
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kStar,      // *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier / string payload
+  std::size_t pos = 0;  // byte offset in the source, for diagnostics
+};
+
+/// Tokenizes constraint-language text.  Identifiers may contain letters,
+/// digits, '_', '.', and internal '-' (protocol state names such as
+/// "Busy-sd").  Throws ParseError on an illegal character or an unterminated
+/// string.
+std::vector<Token> lex(std::string_view text);
+
+}  // namespace ccsql

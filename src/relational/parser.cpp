@@ -1,0 +1,353 @@
+#include "relational/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "relational/error.hpp"
+#include "relational/lexer.hpp"
+
+namespace ccsql {
+namespace {
+
+std::string lowered(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Recursive-descent parser over the token stream.  Keywords are matched
+/// case-insensitively; identifiers keep their case.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : toks_(lex(text)) {}
+
+  Expr expr() {
+    Expr cond = or_expr();
+    if (accept(TokenKind::kQuestion)) {
+      Expr then_e = expr();
+      expect(TokenKind::kColon, "':' of ternary");
+      Expr else_e = expr();
+      return Expr::ternary(std::move(cond), std::move(then_e),
+                           std::move(else_e));
+    }
+    return cond;
+  }
+
+  SelectStmt select() {
+    expect_keyword("select");
+    SelectStmt s;
+    s.distinct = accept_keyword("distinct");
+    if (accept(TokenKind::kStar)) {
+      s.star = true;
+    } else if (peek_keyword("count")) {
+      advance();
+      expect(TokenKind::kLParen, "'(' of count");
+      expect(TokenKind::kStar, "'*' of count");
+      expect(TokenKind::kRParen, "')' of count");
+      s.count_star = true;
+    } else {
+      s.columns.push_back(ident("column name"));
+      while (accept(TokenKind::kComma)) s.columns.push_back(ident("column"));
+    }
+    expect_keyword("from");
+    s.table = ident("table name");
+    if (accept_keyword("where")) s.where = expr();
+    if (accept_keyword("order")) {
+      expect_keyword("by");
+      s.order_by.push_back(ident("order-by column"));
+      while (accept(TokenKind::kComma)) {
+        s.order_by.push_back(ident("order-by column"));
+      }
+    }
+    while (accept_keyword("union")) {
+      s.union_with.push_back(select());
+    }
+    return s;
+  }
+
+  Statement statement() {
+    Statement out;
+    if (accept_keyword("create")) {
+      expect_keyword("table");
+      out.kind = Statement::Kind::kCreateTableAs;
+      out.table = ident("table name");
+      expect_keyword("as");
+      out.select = select();
+      end();
+      return out;
+    }
+    if (accept_keyword("drop")) {
+      expect_keyword("table");
+      out.kind = Statement::Kind::kDropTable;
+      out.table = ident("table name");
+      end();
+      return out;
+    }
+    if (accept_keyword("insert")) {
+      expect_keyword("into");
+      out.kind = Statement::Kind::kInsert;
+      out.table = ident("table name");
+      expect_keyword("values");
+      do {
+        expect(TokenKind::kLParen, "'(' of values tuple");
+        std::vector<std::string> row;
+        if (!peek_is(TokenKind::kRParen)) {
+          row.push_back(atom("value").text);
+          while (accept(TokenKind::kComma)) row.push_back(atom("value").text);
+        }
+        expect(TokenKind::kRParen, "')' of values tuple");
+        out.rows.push_back(std::move(row));
+      } while (accept(TokenKind::kComma));
+      end();
+      return out;
+    }
+    out.kind = Statement::Kind::kSelect;
+    out.select = select();
+    end();
+    return out;
+  }
+
+  std::vector<SelectStmt> invariant() {
+    std::vector<SelectStmt> out;
+    if (!peek_is(TokenKind::kLBracket)) {
+      // Bare SELECT form.
+      out.push_back(select());
+      end();
+      return out;
+    }
+    do {
+      expect(TokenKind::kLBracket, "'['");
+      out.push_back(select());
+      expect(TokenKind::kRBracket, "']'");
+      expect(TokenKind::kEq, "'=' before empty");
+      expect_keyword("empty");
+    } while (accept_keyword("and"));
+    end();
+    return out;
+  }
+
+  void end() {
+    if (!peek_is(TokenKind::kEnd)) {
+      throw ParseError("trailing input at offset " +
+                       std::to_string(cur().pos) + ": '" + cur().text + "'");
+    }
+  }
+
+ private:
+  Expr or_expr() {
+    std::vector<Expr> parts;
+    parts.push_back(and_expr());
+    while (accept_keyword("or")) parts.push_back(and_expr());
+    return Expr::disjunction(std::move(parts));
+  }
+
+  Expr and_expr() {
+    std::vector<Expr> parts;
+    parts.push_back(unary());
+    while (accept_keyword("and")) parts.push_back(unary());
+    return Expr::conjunction(std::move(parts));
+  }
+
+  Expr unary() {
+    if (accept_keyword("not")) return Expr::negation(unary());
+    return primary();
+  }
+
+  Expr primary() {
+    if (accept(TokenKind::kLParen)) {
+      Expr e = expr();
+      expect(TokenKind::kRParen, "')'");
+      return e;
+    }
+    if (peek_keyword("true")) {
+      advance();
+      return Expr::boolean(true);
+    }
+    if (peek_keyword("false")) {
+      advance();
+      return Expr::boolean(false);
+    }
+    // Function call: ident '(' ... ')'.
+    if (peek_is(TokenKind::kIdent) && peek_is(TokenKind::kLParen, 1) &&
+        !is_keyword(cur().text)) {
+      std::string name = cur().text;
+      advance();
+      advance();  // '('
+      std::vector<Atom> args;
+      if (!peek_is(TokenKind::kRParen)) {
+        args.push_back(atom("function argument"));
+        while (accept(TokenKind::kComma)) args.push_back(atom("argument"));
+      }
+      expect(TokenKind::kRParen, "')' of call");
+      return Expr::call(std::move(name), std::move(args));
+    }
+    // Comparison or IN.
+    Atom lhs = atom("operand");
+    if (accept(TokenKind::kEq)) {
+      return Expr::compare(std::move(lhs), /*negated=*/false,
+                           atom("right operand"));
+    }
+    if (accept(TokenKind::kNe)) {
+      return Expr::compare(std::move(lhs), /*negated=*/true,
+                           atom("right operand"));
+    }
+    bool negated = false;
+    if (accept_keyword("not")) negated = true;
+    if (accept_keyword("in")) {
+      expect(TokenKind::kLParen, "'(' of in-list");
+      std::vector<Atom> set;
+      set.push_back(atom("in-list element"));
+      while (accept(TokenKind::kComma)) set.push_back(atom("element"));
+      expect(TokenKind::kRParen, "')' of in-list");
+      return Expr::in(std::move(lhs), negated, std::move(set));
+    }
+    throw ParseError("expected comparison operator at offset " +
+                     std::to_string(cur().pos));
+  }
+
+  Atom atom(const char* what) {
+    if (peek_is(TokenKind::kString)) {
+      Atom a = Atom::quoted(cur().text);
+      advance();
+      return a;
+    }
+    // Statement-level keywords (select, drop, count, ...) are legal value
+    // literals; only the expression grammar's own keywords are reserved
+    // here.
+    if (peek_is(TokenKind::kIdent) && !is_expr_keyword(cur().text)) {
+      Atom a = Atom::ident(cur().text);
+      advance();
+      return a;
+    }
+    throw ParseError(std::string("expected ") + what + " at offset " +
+                     std::to_string(cur().pos));
+  }
+
+  static bool is_expr_keyword(std::string_view t) {
+    static const char* kw[] = {"and", "or", "not", "in", "true", "false",
+                               "empty"};
+    const std::string lo = lowered(t);
+    for (const char* k : kw) {
+      if (lo == k) return true;
+    }
+    return false;
+  }
+
+  std::string ident(const char* what) {
+    if (!peek_is(TokenKind::kIdent)) {
+      throw ParseError(std::string("expected ") + what + " at offset " +
+                       std::to_string(cur().pos));
+    }
+    std::string s = cur().text;
+    advance();
+    return s;
+  }
+
+  static bool is_keyword(std::string_view t) {
+    static const char* kw[] = {"and",    "or",     "not",    "in",
+                               "true",   "false",  "select", "distinct",
+                               "from",   "where",  "empty",  "union",
+                               "order",  "by",     "count",  "create",
+                               "table",  "as",     "drop",   "insert",
+                               "into",   "values"};
+    const std::string lo = lowered(t);
+    for (const char* k : kw) {
+      if (lo == k) return true;
+    }
+    return false;
+  }
+
+  const Token& cur() const { return toks_[pos_]; }
+  void advance() { ++pos_; }
+  bool peek_is(TokenKind k, std::size_t ahead = 0) const {
+    return pos_ + ahead < toks_.size() && toks_[pos_ + ahead].kind == k;
+  }
+  bool peek_keyword(std::string_view kw) const {
+    return peek_is(TokenKind::kIdent) && lowered(cur().text) == kw;
+  }
+  bool accept(TokenKind k) {
+    if (peek_is(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool accept_keyword(std::string_view kw) {
+    if (peek_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect(TokenKind k, const char* what) {
+    if (!accept(k)) {
+      throw ParseError(std::string("expected ") + what + " at offset " +
+                       std::to_string(cur().pos));
+    }
+  }
+  void expect_keyword(const char* kw) {
+    if (!accept_keyword(kw)) {
+      throw ParseError(std::string("expected keyword '") + kw +
+                       "' at offset " + std::to_string(cur().pos));
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SelectStmt::to_string() const {
+  std::string s = "select ";
+  if (distinct) s += "distinct ";
+  if (star) {
+    s += "*";
+  } else if (count_star) {
+    s += "count(*)";
+  } else {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += columns[i];
+    }
+  }
+  s += " from " + table;
+  if (where) s += " where " + where->to_string();
+  if (!order_by.empty()) {
+    s += " order by ";
+    for (std::size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += order_by[i];
+    }
+  }
+  for (const auto& u : union_with) s += " union " + u.to_string();
+  return s;
+}
+
+Statement parse_statement(std::string_view text) {
+  Parser p(text);
+  return p.statement();
+}
+
+Expr parse_expr(std::string_view text) {
+  Parser p(text);
+  Expr e = p.expr();
+  p.end();
+  return e;
+}
+
+SelectStmt parse_select(std::string_view text) {
+  Parser p(text);
+  SelectStmt s = p.select();
+  p.end();
+  return s;
+}
+
+std::vector<SelectStmt> parse_invariant(std::string_view text) {
+  Parser p(text);
+  return p.invariant();
+}
+
+}  // namespace ccsql

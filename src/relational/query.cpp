@@ -1,0 +1,95 @@
+#include "relational/query.hpp"
+
+#include "relational/error.hpp"
+
+namespace ccsql {
+
+void Catalog::put(std::string name, Table table) {
+  tables_.insert_or_assign(std::move(name), std::move(table));
+}
+
+bool Catalog::has(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+const Table& Catalog::get(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw BindError("unknown table: " + std::string(name));
+  }
+  return it->second;
+}
+
+Table Catalog::run(const SelectStmt& stmt) const {
+  const Table& base = get(stmt.table);
+  Table filtered = base;
+  if (stmt.where) {
+    CompiledExpr pred =
+        compile(*stmt.where, base.schema(), base.schema(), &functions_);
+    filtered = base.select(pred.predicate());
+  }
+  Table result;
+  if (stmt.count_star) {
+    Table counted(make_schema({{"count", ColumnKind::kOutput}}));
+    counted.append({Symbol::intern(std::to_string(filtered.row_count()))});
+    result = std::move(counted);
+  } else if (stmt.star) {
+    result = stmt.distinct ? filtered.distinct() : std::move(filtered);
+  } else {
+    result = filtered.project(stmt.columns, stmt.distinct);
+  }
+  for (const SelectStmt& u : stmt.union_with) {
+    Table branch = run(u);
+    result = Table::union_distinct(result,
+                                   branch.with_schema(result.schema_ptr()));
+  }
+  if (!stmt.order_by.empty()) result = result.sorted_by(stmt.order_by);
+  return result;
+}
+
+Table Catalog::execute(std::string_view statement_text) {
+  return execute(parse_statement(statement_text));
+}
+
+Table Catalog::execute(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return run(stmt.select);
+    case Statement::Kind::kCreateTableAs: {
+      Table result = run(stmt.select);
+      put(stmt.table, result);
+      return result;
+    }
+    case Statement::Kind::kDropTable: {
+      if (!has(stmt.table)) {
+        throw BindError("drop table: unknown table " + stmt.table);
+      }
+      tables_.erase(tables_.find(stmt.table));
+      return Table();
+    }
+    case Statement::Kind::kInsert: {
+      auto it = tables_.find(stmt.table);
+      if (it == tables_.end()) {
+        throw BindError("insert into: unknown table " + stmt.table);
+      }
+      for (const auto& row : stmt.rows) {
+        it->second.append_texts(row);
+      }
+      return Table();
+    }
+  }
+  return Table();
+}
+
+Table Catalog::query(std::string_view select_text) const {
+  return run(parse_select(select_text));
+}
+
+bool Catalog::check_empty(std::string_view invariant_text) const {
+  for (const SelectStmt& s : parse_invariant(invariant_text)) {
+    if (run(s).row_count() != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace ccsql

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "relational/function_registry.hpp"
+#include "relational/parser.hpp"
+#include "relational/table.hpp"
+
+namespace ccsql {
+
+/// A named collection of tables — the "central database" of the paper in
+/// which all controller tables live.  Also owns the function registry used
+/// when compiling WHERE clauses.
+class Catalog {
+ public:
+  /// Inserts or replaces a table.
+  void put(std::string name, Table table);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  /// Throws BindError if absent.
+  [[nodiscard]] const Table& get(std::string_view name) const;
+
+  [[nodiscard]] FunctionRegistry& functions() noexcept { return functions_; }
+  [[nodiscard]] const FunctionRegistry& functions() const noexcept {
+    return functions_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tables_.size(); }
+  [[nodiscard]] const std::map<std::string, Table, std::less<>>& tables()
+      const noexcept {
+    return tables_;
+  }
+
+  /// Executes a parsed SELECT against this catalog.
+  [[nodiscard]] Table run(const SelectStmt& stmt) const;
+
+  /// Parses and executes a full statement.  SELECT returns its result;
+  /// CREATE TABLE ... AS SELECT materialises the result under the new name
+  /// and returns it (the paper's flow for the implementation tables);
+  /// DROP TABLE / INSERT INTO return an empty unit table.
+  Table execute(std::string_view statement_text);
+  Table execute(const Statement& stmt);
+
+  /// Parses and executes SELECT text.
+  [[nodiscard]] Table query(std::string_view select_text) const;
+
+  /// Parses invariant text (see parse_invariant) and evaluates it: returns
+  /// true iff every constituent SELECT yields an empty result.
+  [[nodiscard]] bool check_empty(std::string_view invariant_text) const;
+
+ private:
+  std::map<std::string, Table, std::less<>> tables_;
+  FunctionRegistry functions_;
+};
+
+}  // namespace ccsql

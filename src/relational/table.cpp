@@ -1,0 +1,330 @@
+#include "relational/table.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relational/error.hpp"
+
+namespace ccsql {
+namespace {
+
+/// Hash/equality over rows referenced by index into a flat value buffer.
+/// Used to deduplicate without copying rows into a temporary container.
+struct RowRef {
+  const std::vector<Value>* data;
+  std::size_t width;
+  std::size_t row;
+
+  [[nodiscard]] const Value* begin() const {
+    return data->data() + row * width;
+  }
+};
+
+struct RowRefHash {
+  std::size_t operator()(const RowRef& r) const noexcept {
+    std::size_t h = 0x9e3779b97f4a7c15ull;
+    const Value* p = r.begin();
+    for (std::size_t i = 0; i < r.width; ++i) {
+      h ^= std::hash<Value>{}(p[i]) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct RowRefEq {
+  bool operator()(const RowRef& a, const RowRef& b) const noexcept {
+    return std::equal(a.begin(), a.begin() + a.width, b.begin());
+  }
+};
+
+using RowSet = std::unordered_set<RowRef, RowRefHash, RowRefEq>;
+
+}  // namespace
+
+Table::Table(SchemaPtr schema) : schema_(std::move(schema)) {
+  if (!schema_) throw SchemaError("Table: null schema");
+}
+
+Table Table::unit() {
+  Table t;
+  t.unit_rows_ = 1;
+  return t;
+}
+
+std::size_t Table::row_count() const noexcept {
+  return width() == 0 ? unit_rows_ : data_.size() / width();
+}
+
+void Table::append(RowView row) {
+  if (row.size() != width()) {
+    throw SchemaError("append: row arity " + std::to_string(row.size()) +
+                      " != schema arity " + std::to_string(width()));
+  }
+  if (width() == 0) {
+    ++unit_rows_;
+    return;
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+void Table::append(std::initializer_list<Value> row) {
+  append(RowView(row.begin(), row.size()));
+}
+
+void Table::append_texts(const std::vector<std::string>& texts) {
+  std::vector<Value> vals;
+  vals.reserve(texts.size());
+  for (const auto& t : texts) vals.push_back(Symbol::intern(t));
+  append(RowView(vals));
+}
+
+void Table::reserve_rows(std::size_t n) { data_.reserve(n * width()); }
+
+Table Table::select(const std::function<bool(RowView)>& pred) const {
+  Table out(schema_);
+  if (width() == 0) {
+    for (std::size_t i = 0; i < unit_rows_; ++i) {
+      if (pred(RowView{})) ++out.unit_rows_;
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < row_count(); ++i) {
+    RowView r = row(i);
+    if (pred(r)) out.append(r);
+  }
+  return out;
+}
+
+Table Table::project(const std::vector<std::string>& names,
+                     bool distinct) const {
+  std::vector<std::size_t> idx;
+  idx.reserve(names.size());
+  for (const auto& n : names) idx.push_back(schema_->index_of(n));
+  Table out(schema_->project(names));
+  out.reserve_rows(row_count());
+  std::vector<Value> tmp(idx.size());
+  for (std::size_t i = 0; i < row_count(); ++i) {
+    RowView r = row(i);
+    for (std::size_t j = 0; j < idx.size(); ++j) tmp[j] = r[idx[j]];
+    out.append(RowView(tmp));
+  }
+  return distinct ? out.distinct() : out;
+}
+
+Table Table::distinct() const {
+  Table out(schema_);
+  if (width() == 0) {
+    out.unit_rows_ = unit_rows_ > 0 ? 1 : 0;
+    return out;
+  }
+  RowSet seen;
+  seen.reserve(row_count());
+  out.reserve_rows(row_count());
+  for (std::size_t i = 0; i < row_count(); ++i) {
+    // Probe against rows already emitted into `out`.
+    const std::size_t candidate = out.row_count();
+    out.append(row(i));
+    RowRef ref{&out.data_, width(), candidate};
+    if (!seen.insert(ref).second) {
+      out.data_.resize(out.data_.size() - width());
+    }
+  }
+  return out;
+}
+
+Table Table::cross(const Table& a, const Table& b) {
+  std::vector<Column> cols = a.schema().columns();
+  for (const auto& c : b.schema().columns()) {
+    cols.push_back(c);
+  }
+  Table out(make_schema(std::move(cols)));  // throws on duplicate names
+  if (out.width() == 0) {
+    out.unit_rows_ = a.row_count() * b.row_count();
+    return out;
+  }
+  out.reserve_rows(a.row_count() * b.row_count());
+  std::vector<Value> tmp(out.width());
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    RowView ra = a.row(i);
+    std::copy(ra.begin(), ra.end(), tmp.begin());
+    for (std::size_t j = 0; j < b.row_count(); ++j) {
+      RowView rb = b.row(j);
+      std::copy(rb.begin(), rb.end(), tmp.begin() + a.width());
+      out.append(RowView(tmp));
+    }
+  }
+  return out;
+}
+
+void Table::check_same_names(const Table& other) const {
+  if (!schema_->same_names(other.schema())) {
+    throw SchemaError("tables have different column names/order");
+  }
+}
+
+Table Table::union_all(const Table& a, const Table& b) {
+  a.check_same_names(b);
+  Table out = a;
+  if (out.width() == 0) {
+    out.unit_rows_ += b.unit_rows_;
+    return out;
+  }
+  out.data_.insert(out.data_.end(), b.data_.begin(), b.data_.end());
+  return out;
+}
+
+Table Table::union_distinct(const Table& a, const Table& b) {
+  return union_all(a, b).distinct();
+}
+
+Table Table::difference(const Table& a, const Table& b) {
+  a.check_same_names(b);
+  Table out(a.schema_);
+  if (a.width() == 0) {
+    out.unit_rows_ = (a.unit_rows_ > 0 && b.unit_rows_ == 0) ? a.unit_rows_ : 0;
+    return out;
+  }
+  RowSet forbidden;
+  forbidden.reserve(b.row_count());
+  for (std::size_t i = 0; i < b.row_count(); ++i) {
+    forbidden.insert(RowRef{&b.data_, b.width(), i});
+  }
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    if (!forbidden.count(RowRef{&a.data_, a.width(), i})) out.append(a.row(i));
+  }
+  return out;
+}
+
+Table Table::natural_join(const Table& a, const Table& b) {
+  // Common columns and b's private columns.
+  std::vector<std::size_t> a_keys, b_keys, b_rest;
+  for (std::size_t j = 0; j < b.column_count(); ++j) {
+    if (auto i = a.schema().find(b.schema().column(j).name)) {
+      a_keys.push_back(*i);
+      b_keys.push_back(j);
+    } else {
+      b_rest.push_back(j);
+    }
+  }
+  if (a_keys.empty()) {
+    throw SchemaError("natural_join: schemas share no column");
+  }
+
+  std::vector<Column> cols = a.schema().columns();
+  for (std::size_t j : b_rest) cols.push_back(b.schema().column(j));
+  Table out(make_schema(std::move(cols)));
+
+  // Hash b's rows by their key tuple.
+  std::unordered_map<std::string, std::vector<std::size_t>> index;
+  index.reserve(b.row_count());
+  auto key_of = [](RowView row, const std::vector<std::size_t>& keys) {
+    std::string k;
+    for (std::size_t idx : keys) {
+      k += std::to_string(row[idx].id());
+      k += ',';
+    }
+    return k;
+  };
+  for (std::size_t j = 0; j < b.row_count(); ++j) {
+    index[key_of(b.row(j), b_keys)].push_back(j);
+  }
+
+  std::vector<Value> tmp(out.width());
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    RowView ra = a.row(i);
+    auto it = index.find(key_of(ra, a_keys));
+    if (it == index.end()) continue;
+    std::copy(ra.begin(), ra.end(), tmp.begin());
+    for (std::size_t j : it->second) {
+      RowView rb = b.row(j);
+      for (std::size_t k = 0; k < b_rest.size(); ++k) {
+        tmp[a.column_count() + k] = rb[b_rest[k]];
+      }
+      out.append(RowView(tmp));
+    }
+  }
+  return out;
+}
+
+Table Table::renamed(std::string_view from, std::string_view to) const {
+  Table out = *this;
+  out.schema_ = schema_->renamed(from, to);
+  return out;
+}
+
+Table Table::with_schema(SchemaPtr schema) const {
+  if (!schema || schema->size() != schema_->size()) {
+    throw SchemaError("with_schema: arity mismatch");
+  }
+  Table out = *this;
+  out.schema_ = std::move(schema);
+  return out;
+}
+
+bool Table::contains(RowView r) const {
+  if (r.size() != width()) return false;
+  for (std::size_t i = 0; i < row_count(); ++i) {
+    RowView mine = row(i);
+    if (std::equal(mine.begin(), mine.end(), r.begin())) return true;
+  }
+  return false;
+}
+
+bool Table::contains_all(const Table& other) const {
+  check_same_names(other);
+  if (width() == 0) return unit_rows_ > 0 || other.unit_rows_ == 0;
+  RowSet mine;
+  mine.reserve(row_count());
+  for (std::size_t i = 0; i < row_count(); ++i) {
+    mine.insert(RowRef{&data_, width(), i});
+  }
+  for (std::size_t i = 0; i < other.row_count(); ++i) {
+    if (!mine.count(RowRef{&other.data_, other.width(), i})) return false;
+  }
+  return true;
+}
+
+bool Table::set_equal(const Table& other) const {
+  return contains_all(other) && other.contains_all(*this);
+}
+
+Table Table::sorted_by(const std::vector<std::string>& columns) const {
+  std::vector<std::size_t> keys;
+  keys.reserve(columns.size());
+  for (const auto& c : columns) keys.push_back(schema_->index_of(c));
+  std::vector<std::size_t> order(row_count());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     for (std::size_t k : keys) {
+                       const std::string_view va = at(a, k).str();
+                       const std::string_view vb = at(b, k).str();
+                       if (va != vb) return va < vb;
+                     }
+                     return false;
+                   });
+  Table out(schema_);
+  out.reserve_rows(row_count());
+  for (std::size_t i : order) out.append(row(i));
+  return out;
+}
+
+Table Table::sorted() const {
+  std::vector<std::size_t> order(row_count());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    RowView ra = row(a), rb = row(b);
+    return std::lexicographical_compare(
+        ra.begin(), ra.end(), rb.begin(), rb.end(),
+        [](Value x, Value y) { return x.id() < y.id(); });
+  });
+  Table out(schema_);
+  out.unit_rows_ = unit_rows_;
+  out.reserve_rows(row_count());
+  for (std::size_t i : order) out.append(row(i));
+  return out;
+}
+
+}  // namespace ccsql

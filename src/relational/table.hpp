@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/schema.hpp"
+#include "relational/value.hpp"
+
+namespace ccsql {
+
+/// A read-only view of one row of a table.
+using RowView = std::span<const Value>;
+
+/// An in-memory relation: an ordered multiset of fixed-width rows over a
+/// shared immutable Schema.  This is the database-table substrate on which
+/// the whole methodology runs: controller tables, column tables, dependency
+/// tables and implementation tables are all instances of Table.
+///
+/// Storage is row-major and flat; rows are spans into it, so iteration is
+/// cache-friendly and copying a table is a single vector copy.
+class Table {
+ public:
+  /// An empty table over an empty schema.  Note this still has zero rows;
+  /// use Table::unit() for the 0-column, 1-row identity of cross products.
+  Table() : schema_(std::make_shared<const Schema>()) {}
+
+  explicit Table(SchemaPtr schema);
+
+  /// The 0-column table with a single (empty) row: the identity element of
+  /// cross(), used to seed incremental table generation.
+  static Table unit();
+
+  [[nodiscard]] const Schema& schema() const noexcept { return *schema_; }
+  [[nodiscard]] const SchemaPtr& schema_ptr() const noexcept {
+    return schema_;
+  }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return schema_->size();
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] RowView row(std::size_t i) const noexcept {
+    return RowView(data_.data() + i * width(), width());
+  }
+  [[nodiscard]] Value at(std::size_t row, std::size_t col) const noexcept {
+    return data_[row * width() + col];
+  }
+  [[nodiscard]] Value at(std::size_t row, std::string_view col) const {
+    return at(row, schema_->index_of(col));
+  }
+
+  /// Appends a row; throws SchemaError if the arity does not match.
+  void append(RowView row);
+  void append(std::initializer_list<Value> row);
+  /// Appends the row given as value texts (interned on the fly).
+  void append_texts(const std::vector<std::string>& texts);
+
+  void reserve_rows(std::size_t n);
+
+  // ---- Relational algebra ------------------------------------------------
+  // All operations return new tables; none mutate the receiver.
+
+  /// sigma: rows satisfying `pred`.
+  [[nodiscard]] Table select(
+      const std::function<bool(RowView)>& pred) const;
+
+  /// pi: the named columns, in the given order.  If `distinct`, duplicate
+  /// result rows are removed (SELECT DISTINCT).
+  [[nodiscard]] Table project(const std::vector<std::string>& names,
+                              bool distinct = true) const;
+
+  /// Removes duplicate rows, keeping first occurrences in order.
+  [[nodiscard]] Table distinct() const;
+
+  /// Cartesian product; column names must be disjoint.
+  [[nodiscard]] static Table cross(const Table& a, const Table& b);
+
+  /// Multiset union; schemas must have identical column names/order.
+  [[nodiscard]] static Table union_all(const Table& a, const Table& b);
+
+  /// Set union (duplicates removed).
+  [[nodiscard]] static Table union_distinct(const Table& a, const Table& b);
+
+  /// Set difference a \ b.
+  [[nodiscard]] static Table difference(const Table& a, const Table& b);
+
+  /// Natural join: rows of `a` and `b` agreeing on all columns common to
+  /// both schemas; result columns are a's columns followed by b's
+  /// non-common columns.  Throws SchemaError when the schemas share no
+  /// column.
+  [[nodiscard]] static Table natural_join(const Table& a, const Table& b);
+
+  /// Renames one column.
+  [[nodiscard]] Table renamed(std::string_view from,
+                              std::string_view to) const;
+
+  /// Reorders/renames columns to match `schema` by position (arity must
+  /// match); used to align tables before union/difference.
+  [[nodiscard]] Table with_schema(SchemaPtr schema) const;
+
+  // ---- Set queries ---------------------------------------------------------
+
+  /// True if `r` occurs in this table.
+  [[nodiscard]] bool contains(RowView r) const;
+
+  /// True if every row of `other` occurs in this table (both projected to
+  /// their common order; schemas must have identical names).  This is the
+  /// paper's "reconstructed table contains the original debugged table"
+  /// check.
+  [[nodiscard]] bool contains_all(const Table& other) const;
+
+  /// True if both tables hold the same set of rows (duplicates ignored).
+  [[nodiscard]] bool set_equal(const Table& other) const;
+
+  /// Rows sorted lexicographically by symbol id (canonical order for
+  /// deterministic output and comparisons).
+  [[nodiscard]] Table sorted() const;
+
+  /// Rows sorted by the given columns' textual values (SQL ORDER BY).
+  [[nodiscard]] Table sorted_by(const std::vector<std::string>& columns) const;
+
+ private:
+  [[nodiscard]] std::size_t width() const noexcept {
+    // A 0-column table still needs a nonzero stride of 0 handled specially;
+    // row_count() accounts for it via unit_rows_.
+    return schema_->size();
+  }
+
+  void check_same_names(const Table& other) const;
+
+  SchemaPtr schema_;
+  std::vector<Value> data_;
+  // Number of rows when width()==0 (data_ cannot encode them).
+  std::size_t unit_rows_ = 0;
+};
+
+}  // namespace ccsql

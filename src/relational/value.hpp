@@ -1,0 +1,22 @@
+#pragma once
+
+#include "relational/symbol.hpp"
+
+namespace ccsql {
+
+/// A cell value: an interned symbol, where the reserved symbol denotes SQL
+/// NULL.  In controller tables NULL means "don't care" in an input column and
+/// "no operation" in an output column (paper, section 3).
+///
+/// Unlike full SQL, NULL here compares like an ordinary value: the paper's
+/// constraint language treats NULL as just another domain element, so
+/// `col = NULL` selects rows whose cell is NULL rather than being UNKNOWN.
+using Value = Symbol;
+
+/// The NULL / don't-care / no-op value.
+inline Value null_value() noexcept { return Value{}; }
+
+/// Shorthand for interning a value literal.
+inline Value V(std::string_view text) { return Symbol::intern(text); }
+
+}  // namespace ccsql

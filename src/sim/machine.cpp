@@ -1,0 +1,990 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "protocol/asura/asura.hpp"
+#include "relational/error.hpp"
+
+namespace ccsql::sim {
+namespace {
+
+Value v_of(std::string_view s) { return Symbol::intern(s); }
+
+bool is_snoop(Value t) {
+  return t == v_of("sinv") || t == v_of("sfetch") || t == v_of("sflush");
+}
+
+bool is_mem_request(Value t) {
+  return t == v_of("mread") || t == v_of("mwrite") || t == v_of("mupd") ||
+         t == v_of("mrmw") || t == v_of("wb");
+}
+
+}  // namespace
+
+Machine::Machine(const ProtocolSpec& spec, const ChannelAssignment& v,
+                 SimConfig config)
+    : spec_(&spec),
+      config_(config),
+      net_(v, config.n_quads, config.channel_capacity),
+      rng_(config.seed),
+      trace_(config.trace) {
+  const Catalog& db = spec.database();
+  d_index_ = std::make_unique<TableIndex>(
+      db.get(asura::kDirectory),
+      std::vector<std::string>{"inmsg", "dirst", "dirlookup", "dirpv",
+                               "bdirst", "bdirpv"});
+  m_index_ = std::make_unique<TableIndex>(db.get(asura::kMemory),
+                                          std::vector<std::string>{"inmsg"});
+  nc_index_ = std::make_unique<TableIndex>(
+      db.get(asura::kNode), std::vector<std::string>{"inmsg", "ncst"});
+  cc_index_ = std::make_unique<TableIndex>(
+      db.get(asura::kCache), std::vector<std::string>{"inmsg", "cst"});
+  rsn_index_ = std::make_unique<TableIndex>(
+      db.get(asura::kRemoteSnoop),
+      std::vector<std::string>{"inmsg", "rsnst"});
+  ioc_index_ = std::make_unique<TableIndex>(
+      db.get(asura::kIo), std::vector<std::string>{"inmsg", "iocst"});
+
+  homes_.resize(static_cast<std::size_t>(config_.n_quads));
+  nodes_.resize(static_cast<std::size_t>(config_.n_quads));
+  for (auto& n : nodes_) {
+    n.ncst = v_of("idle");
+    n.iocst = v_of("idle");
+  }
+  for (Addr a = 0; a < config_.n_addrs; ++a) {
+    gv_[a] = 0;
+    homes_[static_cast<std::size_t>(home_of(a))].memory[a] = 0;
+  }
+}
+
+Machine::DirLine& Machine::line(QuadId home, Addr a) {
+  auto& dir = homes_[static_cast<std::size_t>(home)].dir;
+  auto it = dir.find(a);
+  if (it == dir.end()) {
+    DirLine l;
+    l.dirst = v_of("I");
+    l.bdirst = v_of("I");
+    it = dir.emplace(a, std::move(l)).first;
+  }
+  return it->second;
+}
+
+Value Machine::enc_count(std::size_t n) {
+  if (n == 0) return v_of("zero");
+  if (n == 1) return v_of("one");
+  return v_of("gone");
+}
+
+void Machine::set_line(Addr addr, std::string_view dirst,
+                       const std::vector<QuadId>& holders) {
+  const QuadId home = home_of(addr);
+  DirLine& l = line(home, addr);
+  l.dirst = v_of(dirst);
+  l.pv.clear();
+  const bool owned = l.dirst == v_of("MESI");
+  for (QuadId q : holders) {
+    l.pv.insert(q);
+    node(q).cst[addr] = owned ? v_of("M") : v_of("S");
+    node(q).cver[addr] = gv_[addr];
+  }
+  if (owned && holders.size() == 1) {
+    // The owner holds a version ahead of memory.
+    gv_[addr] += 1;
+    node(holders[0]).cver[addr] = gv_[addr];
+  }
+}
+
+void Machine::script(QuadId n, std::string_view op, Addr addr) {
+  node(n).scripted.emplace_back(v_of(op), addr);
+}
+
+void Machine::enable_random_workload() {
+  for (auto& n : nodes_) n.random_remaining = config_.transactions_per_node;
+}
+
+std::vector<QuadId> Machine::snoop_targets(const DirLine& l,
+                                           QuadId /*requester*/) const {
+  // Snoops go to every presence-vector member, including the requester
+  // itself when it is one (an upgrading sharer's engine acknowledges its
+  // own invalidation): the coarse zero/one/gone encoding means the
+  // directory cannot exclude the requester, so the pending count is always
+  // the full holder count.
+  return std::vector<QuadId>(l.pv.begin(), l.pv.end());
+}
+
+void Machine::record_error(std::string what) {
+  if (errors_.size() < 32) {
+    errors_.push_back("[" + std::to_string(now_) + "] " + std::move(what));
+  }
+}
+
+void Machine::check_swmr(Addr addr) {
+  int owners = 0, sharers = 0;
+  for (const auto& n : nodes_) {
+    auto it = n.cst.find(addr);
+    if (it == n.cst.end()) continue;
+    if (it->second == v_of("M") || it->second == v_of("E")) ++owners;
+    if (it->second == v_of("S")) ++sharers;
+  }
+  if (owners > 1 || (owners == 1 && sharers > 0)) {
+    record_error("SWMR violated at addr " + std::to_string(addr) + ": " +
+                 std::to_string(owners) + " owners, " +
+                 std::to_string(sharers) + " sharers");
+  }
+}
+
+Value Machine::apply_cache(QuadId q, std::string_view cmd, Addr addr) {
+  Node& n = node(q);
+  Value cst = n.cst.count(addr) ? n.cst[addr] : v_of("I");
+  auto row = cc_index_->find({v_of(cmd), cst});
+  if (!row) {
+    record_error("CC table has no row for (" + std::string(cmd) + ", " +
+                 std::string(cst.str()) + ")");
+    return Value{};
+  }
+  const Value nxt = cc_index_->at(*row, "nxtcst");
+  if (!nxt.is_null()) {
+    n.cst[addr] = nxt;
+    check_swmr(addr);
+  }
+  return cc_index_->at(*row, "outmsg");
+}
+
+bool Machine::step_directory(QuadId q, const Network::QueueRef& ref,
+                             const SimMessage& msg) {
+  DirLine& l = line(q, msg.addr);
+  const bool busy = l.bdirst != v_of("I");
+  // While busy the directory entry lives in the busy directory: the stable
+  // lookup reads invalid/empty (mutual-exclusion invariant).
+  const Value dirst = busy ? v_of("I") : l.dirst;
+  const Value dirpv = busy ? v_of("zero") : enc_count(l.pv.size());
+  const Value bdirpv = enc_count(static_cast<std::size_t>(l.pending));
+  // The directory lookup compares writeback / eviction senders against the
+  // recorded holders: a sender outside the presence vector is stale.
+  Value dirlookup = dirst == v_of("I") ? v_of("miss") : v_of("hit");
+  if (dirlookup == v_of("hit") &&
+      (msg.type == v_of("wb") || msg.type == v_of("evict")) &&
+      l.pv.count(msg.src) == 0) {
+    dirlookup = v_of("stale");
+  }
+
+  auto row =
+      d_index_->find({msg.type, dirst, dirlookup, dirpv, l.bdirst, bdirpv});
+  if (!row) {
+    record_error("D table has no row for " + msg.to_string() + " dirst=" +
+                 std::string(dirst.str()) + " dirlookup=" +
+                 std::string(dirlookup.str()) + " dirpv=" +
+                 std::string(dirpv.str()) + " bdirst=" +
+                 std::string(l.bdirst.str()) + " bdirpv=" +
+                 std::string(bdirpv.str()));
+    net_.pop(ref);
+    return true;
+  }
+
+  const bool request = spec_->messages().is_request(msg.type);
+  const QuadId requester = request ? msg.src : l.requester;
+  const Value locmsg = d_index_->at(*row, "locmsg");
+  const Value remmsg = d_index_->at(*row, "remmsg");
+  const Value memmsg = d_index_->at(*row, "memmsg");
+  const Value datapath = d_index_->at(*row, "datapath");
+
+  std::vector<SimMessage> out;
+  const std::vector<QuadId> targets = snoop_targets(l, requester);
+
+  if (!remmsg.is_null()) {
+    for (QuadId t : targets) {
+      out.push_back(SimMessage{remmsg, msg.addr, q, t, v_of("home"),
+                               v_of("remote"), -1});
+    }
+  }
+  if (!memmsg.is_null()) {
+    std::int64_t ver = -1;
+    if (memmsg == v_of("wb") || memmsg == v_of("mupd")) ver = msg.version;
+    if (memmsg == v_of("mwrite")) {
+      ver = msg.version >= 0 ? msg.version : l.txver;
+    }
+    out.push_back(SimMessage{memmsg, msg.addr, q, q, v_of("home"),
+                             v_of("home"), ver});
+  }
+  // Data routed to the requester travels as a `data` response unless the
+  // completion message itself carries it (iodata).
+  std::int64_t data_ver = -1;
+  if (datapath == v_of("mem2loc") || datapath == v_of("rem2loc")) {
+    data_ver = msg.version >= 0 ? msg.version : l.held;
+    if (locmsg != v_of("iodata")) {
+      out.push_back(SimMessage{v_of("data"), msg.addr, q, requester,
+                               v_of("home"), v_of("local"), data_ver});
+    }
+  }
+  if (!locmsg.is_null()) {
+    // An I/O read is serialized here: the data it returns must be the
+    // globally latest committed value at this moment (later writes may
+    // overtake the delivery, which is fine).
+    if (locmsg == v_of("iodata") && data_ver != gv_[msg.addr]) {
+      record_error("stale I/O read at addr " + std::to_string(msg.addr) +
+                   ": got v" + std::to_string(data_ver) + " want v" +
+                   std::to_string(gv_[msg.addr]));
+    }
+    out.push_back(SimMessage{locmsg, msg.addr, q, requester, v_of("home"),
+                             v_of("local"),
+                             locmsg == v_of("iodata") ? data_ver : -1});
+  }
+
+  for (const auto& m : out) {
+    if (!net_.can_send(m, q)) return false;  // stall: output channel full
+  }
+
+  net_.pop(ref);
+  if (trace_) {
+    std::cout << "[" << now_ << "] D" << q << " " << msg.to_string()
+              << " row " << *row << "\n";
+  }
+
+  // State updates.
+  const Value nxtdirst = d_index_->at(*row, "nxtdirst");
+  const Value nxtdirpv = d_index_->at(*row, "nxtdirpv");
+  const Value nxtbdirst = d_index_->at(*row, "nxtbdirst");
+  const Value nxtbdirpv = d_index_->at(*row, "nxtbdirpv");
+  const Value bdirop = d_index_->at(*row, "bdirop");
+
+  if (bdirop == v_of("alloc")) {
+    l.requester = msg.src;
+    l.txver = msg.version;
+  }
+  if (!nxtbdirst.is_null()) l.bdirst = nxtbdirst;
+  if (nxtbdirpv == v_of("repl")) {
+    l.pending = static_cast<int>(targets.size());
+  } else if (nxtbdirpv == v_of("dec")) {
+    l.pending = std::max(0, l.pending - 1);
+  }
+  if (!nxtdirst.is_null()) l.dirst = nxtdirst;
+  if (nxtdirpv == v_of("inc")) {
+    l.pv.insert(requester);
+  } else if (nxtdirpv == v_of("repl")) {
+    l.pv = {requester};
+  } else if (nxtdirpv == v_of("drepl")) {
+    l.pv.clear();
+  }
+  // Buffer a data response that must be held until invalidations finish
+  // (Figure 3: data at Busy-rx-sd).
+  if (msg.type == v_of("data") && datapath.is_null() && busy) {
+    l.held = msg.version;
+  }
+  if (bdirop == v_of("free")) {
+    l.requester = -1;
+    l.held = -1;
+    l.txver = -1;
+    l.pending = 0;
+  }
+  for (const auto& m : out) net_.send(m, q);
+  return true;
+}
+
+bool Machine::step_memory(QuadId q, const Network::QueueRef& ref,
+                          const SimMessage& msg) {
+  HomeEngine& he = homes_[static_cast<std::size_t>(q)];
+  if (he.cooldown > 0) return false;  // modelling memory latency
+  auto row = m_index_->find({msg.type});
+  if (!row) {
+    record_error("M table has no row for " + msg.to_string());
+    net_.pop(ref);
+    return true;
+  }
+  const Value outmsg = m_index_->at(*row, "outmsg");
+  SimMessage resp;
+  if (!outmsg.is_null()) {
+    resp = SimMessage{outmsg, msg.addr, q,       q,
+                      v_of("home"),     v_of("home"),
+                      outmsg == v_of("data") ? he.memory[msg.addr] : -1};
+    if (!net_.can_send(resp, q)) return false;
+  }
+  net_.pop(ref);
+  if (m_index_->at(*row, "memop") == v_of("wr")) {
+    if (msg.version >= 0) {
+      // Writeback / flush / posted update: install the carried version.
+      he.memory[msg.addr] = msg.version;
+    } else if (msg.type == v_of("mwrite") || msg.type == v_of("mrmw")) {
+      // Device write or atomic read-modify-write: commits a fresh value.
+      gv_[msg.addr] += 1;
+      he.memory[msg.addr] = gv_[msg.addr];
+    }
+  }
+  if (!outmsg.is_null()) {
+    // Reads observe memory after this request's own write (if any).
+    if (outmsg == v_of("data")) resp.version = he.memory[msg.addr];
+    net_.send(resp, q);
+  }
+  he.cooldown = memory_latency_;
+  if (trace_) {
+    std::cout << "[" << now_ << "] M" << q << " " << msg.to_string() << "\n";
+  }
+  return true;
+}
+
+bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
+                       const SimMessage& msg) {
+  // A snoop can overtake the data fill it targets (responses and snoops
+  // travel on different channels).  Like the DASH remote access cache, the
+  // engine defers snoops for a line whose fill is still outstanding at
+  // this node; the fill arrives on the response channel independently, so
+  // the deferral always resolves.
+  // No snoop can ever target a line whose grant is still in flight: the
+  // directory keeps the line busy (Busy-*-g) until the requester's gdone
+  // confirms the grant was consumed, so snoops here always find settled
+  // cache state.
+  // The snoop is serviced atomically: snoop -> cache command -> cache
+  // response -> home response.  Consuming the snoop therefore requires a
+  // slot for the home response (this is the VC1 -> VC2 dependency).
+  auto row = rsn_index_->find({msg.type, v_of("idle")});
+  if (!row) {
+    record_error("RSN table has no row for " + msg.to_string());
+    net_.pop(ref);
+    return true;
+  }
+  const Value cmd = rsn_index_->at(*row, "cmdmsg");
+  Node& n = node(q);
+  const Value cst = n.cst.count(msg.addr) ? n.cst[msg.addr] : v_of("I");
+
+  // Determine the cache response without mutating (peek).
+  auto cc_row = cc_index_->find({cmd, cst});
+  if (!cc_row) {
+    record_error("CC table has no row for (" + std::string(cmd.str()) +
+                 ", " + std::string(cst.str()) + ")");
+    net_.pop(ref);
+    return true;
+  }
+  const Value cc_out = cc_index_->at(*cc_row, "outmsg");
+  auto resp_row = rsn_index_->find({cc_out, rsn_index_->at(*row, "nxtrsnst")});
+  if (!resp_row) {
+    record_error("RSN table has no row for cache response " +
+                 std::string(cc_out.str()));
+    net_.pop(ref);
+    return true;
+  }
+  const Value homemsg = rsn_index_->at(*resp_row, "homemsg");
+  // A snoop can hit a line whose writeback is still in flight (the node
+  // invalidated its copy when it issued pwb).  The snoop absorbs the
+  // writeback: the dirty data is written through now and the node
+  // controller is told to drop the transaction (wbcancel).
+  const bool pending_wb =
+      n.ncst == v_of("w-wb") && n.cur == msg.addr;
+  const bool dirty =
+      cst == v_of("M") || cst == v_of("E") || pending_wb;
+  std::int64_t ver = -1;
+  if (cc_out == v_of("cdata") || (cc_out == v_of("cwbdata") && dirty)) {
+    ver = n.cver.count(msg.addr) ? n.cver[msg.addr] : -1;
+  }
+  SimMessage resp{homemsg, msg.addr,     q, home_of(msg.addr),
+                  v_of("remote"), v_of("home"), ver};
+  if (!net_.can_send(resp, q)) return false;
+
+  net_.pop(ref);
+  // Now apply the cache command for real.
+  (void)apply_cache(q, std::string(cmd.str()), msg.addr);
+  // An invalidated dirty owner writes its line through to home memory
+  // before acknowledging (the Figure 4 race: the modified line reaches
+  // memory before the invalidation acknowledgement is processed).
+  if (dirty) {
+    homes_[static_cast<std::size_t>(home_of(msg.addr))].memory[msg.addr] =
+        n.cver[msg.addr];
+  }
+  if (pending_wb) {
+    apply_nc_internal(q, v_of("wbcancel"), msg.addr);
+    // If the writeback is still queued locally, purge it and complete the
+    // transaction as absorbed; if it is already in the network it will
+    // bounce off the busy line and its retry ends the transaction.
+    auto it = std::find_if(n.outbox.begin(), n.outbox.end(),
+                           [&](const SimMessage& m) {
+                             return m.type == v_of("wb") &&
+                                    m.addr == msg.addr;
+                           });
+    if (it != n.outbox.end()) {
+      n.outbox.erase(it);
+      apply_nc_internal(q, v_of("retry"), msg.addr);
+    }
+  }
+  net_.send(resp, q);
+  if (trace_) {
+    std::cout << "[" << now_ << "] RSN" << q << " " << msg.to_string()
+              << " -> " << resp.to_string() << "\n";
+  }
+  return true;
+}
+
+void Machine::apply_nc_internal(QuadId q, Value type, Addr addr) {
+  Node& n = node(q);
+  auto row = nc_index_->find({type, n.ncst});
+  if (!row) {
+    record_error("NC table has no row for internal (" +
+                 std::string(type.str()) + ", " +
+                 std::string(n.ncst.str()) + ")");
+    return;
+  }
+  const Value nxt = nc_index_->at(*row, "nxtncst");
+  if (!nxt.is_null()) n.ncst = nxt;
+  if (nc_index_->at(*row, "nccmpl") == v_of("done")) ++n.done;
+  (void)addr;
+}
+
+bool Machine::step_node_response(QuadId q, const Network::QueueRef& ref,
+                                 const SimMessage& msg) {
+  Node& n = node(q);
+  auto row = nc_index_->find({msg.type, n.ncst});
+  if (!row) {
+    record_error("NC table has no row for (" + msg.to_string() + ", " +
+                 std::string(n.ncst.str()) + ")");
+    net_.pop(ref);
+    return true;
+  }
+  net_.pop(ref);
+  const Value netmsg = nc_index_->at(*row, "netmsg");
+  const Value fillmsg = nc_index_->at(*row, "fillmsg");
+  const Value nxt = nc_index_->at(*row, "nxtncst");
+  const Value cmpl = nc_index_->at(*row, "nccmpl");
+
+  if (!fillmsg.is_null()) {
+    if (fillmsg == v_of("pfill")) {
+      // Reads must observe the latest committed write.
+      if (msg.version != gv_[msg.addr]) {
+        record_error("stale read fill at addr " + std::to_string(msg.addr) +
+                     ": got v" + std::to_string(msg.version) + " want v" +
+                     std::to_string(gv_[msg.addr]));
+      }
+      (void)apply_cache(q, "pfill", msg.addr);
+      n.cver[msg.addr] = msg.version;
+    } else if (fillmsg == v_of("pfillx")) {
+      if (msg.version >= 0 && msg.version != gv_[msg.addr]) {
+        record_error("stale exclusive fill at addr " +
+                     std::to_string(msg.addr));
+      }
+      (void)apply_cache(q, "pfillx", msg.addr);
+      gv_[msg.addr] += 1;  // the write commits
+      n.cver[msg.addr] = gv_[msg.addr];
+    }
+  }
+  if (!netmsg.is_null()) {
+    // Retry: re-issue the pending operation through the RAC buffer.
+    n.outbox.push_back(SimMessage{netmsg, n.cur, q, home_of(n.cur),
+                                  v_of("local"), v_of("home"),
+                                  n.cver.count(n.cur) ? n.cver[n.cur] : -1});
+  }
+  if (!nxt.is_null()) n.ncst = nxt;
+  if (cmpl == v_of("done")) {
+    ++n.done;
+  }
+  if (trace_) {
+    std::cout << "[" << now_ << "] NC" << q << " " << msg.to_string()
+              << " ncst=" << n.ncst.str() << "\n";
+  }
+  return true;
+}
+
+bool Machine::step_ioc(QuadId q, const Network::QueueRef& ref,
+                       const SimMessage& msg) {
+  Node& n = node(q);
+  auto row = ioc_index_->find({msg.type, n.iocst});
+  if (!row) {
+    record_error("IOC table has no row for (" + msg.to_string() + ", " +
+                 std::string(n.iocst.str()) + ")");
+    net_.pop(ref);
+    return true;
+  }
+  net_.pop(ref);
+  const Value outmsg = ioc_index_->at(*row, "outmsg");
+  const Value devmsg = ioc_index_->at(*row, "devmsg");
+  const Value nxt = ioc_index_->at(*row, "nxtiocst");
+  if (!outmsg.is_null()) {
+    n.outbox.push_back(SimMessage{outmsg, n.io_cur, q, home_of(n.io_cur),
+                                  v_of("local"), v_of("home"), -1});
+  }
+  if (devmsg == v_of("devdata")) {
+    ++n.done;  // freshness was checked at the serialization point (D)
+  } else if (devmsg == v_of("devdone")) {
+    ++n.done;
+  }
+  if (!nxt.is_null()) n.iocst = nxt;
+  if (trace_) {
+    std::cout << "[" << now_ << "] IOC" << q << " " << msg.to_string()
+              << " iocst=" << n.iocst.str() << "\n";
+  }
+  return true;
+}
+
+bool Machine::deliver(QuadId q, const Network::QueueRef& ref,
+                      const SimMessage& msg) {
+  const Value role_src = msg.role_src;
+  const Value role_dst = msg.role_dst;
+  if (role_src == v_of("home") && role_dst == v_of("home")) {
+    return is_mem_request(msg.type) ? step_memory(q, ref, msg)
+                                    : step_directory(q, ref, msg);
+  }
+  if (role_dst == v_of("home")) return step_directory(q, ref, msg);
+  if (is_snoop(msg.type)) return step_rsn(q, ref, msg);
+  if (msg.type == v_of("iodata") || msg.type == v_of("iocompl") ||
+      (msg.type == v_of("retry") && node(q).iocst != v_of("idle") &&
+       node(q).io_cur == msg.addr)) {
+    return step_ioc(q, ref, msg);
+  }
+  return step_node_response(q, ref, msg);
+}
+
+bool Machine::drain_outbox(QuadId q) {
+  Node& n = node(q);
+  if (n.outbox.empty()) return false;
+  const SimMessage& m = n.outbox.front();
+  if (!net_.can_send(m, home_of(m.addr))) return false;
+  net_.send(m, home_of(m.addr));
+  n.outbox.pop_front();
+  return true;
+}
+
+bool Machine::inject(QuadId q) {
+  Node& n = node(q);
+  if (n.ncst != v_of("idle") || n.iocst != v_of("idle")) return false;
+
+  Value op;
+  Addr addr = -1;
+  if (!n.scripted.empty()) {
+    op = n.scripted.front().first;
+    addr = n.scripted.front().second;
+    n.scripted.pop_front();
+  } else if (n.random_remaining > 0) {
+    addr = static_cast<Addr>(rng_() % static_cast<unsigned>(config_.n_addrs));
+    const Value cst = n.cst.count(addr) ? n.cst[addr] : v_of("I");
+    if (cst == v_of("I")) {
+      // Reads and writes dominate; device I/O and atomics mixed in.
+      const unsigned pick = rng_() % 8;
+      if (pick < 3) {
+        op = v_of("prd");
+      } else if (pick < 6) {
+        op = v_of("pwr");
+      } else if (pick == 6) {
+        op = v_of("patomic");
+      } else {
+        op = (rng_() % 2 == 0) ? v_of("iord") : v_of("iowr");
+      }
+    } else if (cst == v_of("S")) {
+      // Read hit (checked by issue_op), upgrade, flush, or eviction hint.
+      const unsigned pick = rng_() % 4;
+      op = pick == 0 ? v_of("prd")
+                     : (pick == 1 ? v_of("pup")
+                                  : (pick == 2 ? v_of("pfl")
+                                               : v_of("pevict")));
+    } else {  // M (E is never installed by this protocol's fills)
+      // A flush of one's own modified line is a writeback (pfl targets
+      // lines owned elsewhere or shared), so owners write hit or pwb.
+      op = (rng_() % 3 != 2) ? v_of("pwr") : v_of("pwb");
+    }
+    --n.random_remaining;
+  } else {
+    return false;
+  }
+  return issue_op(q, op, addr);
+}
+
+bool Machine::issue_op(QuadId q, Value op, Addr addr) {
+  Node& n = node(q);
+  const Value cst = n.cst.count(addr) ? n.cst[addr] : v_of("I");
+
+  // Processor-side rules: hits complete locally; a write to a shared copy
+  // is an upgrade.
+  if (op == v_of("prd") && cst != v_of("I")) {
+    if (n.cver[addr] != gv_[addr]) {
+      record_error("stale local copy read at addr " + std::to_string(addr));
+    }
+    ++n.done;
+    return true;
+  }
+  if (op == v_of("pwr")) {
+    if (cst == v_of("M") || cst == v_of("E")) {
+      // Silent write hit on the owned line.
+      gv_[addr] += 1;
+      n.cver[addr] = gv_[addr];
+      ++n.done;
+      return true;
+    }
+    if (cst == v_of("S")) op = v_of("pup");
+  }
+  if (op == v_of("iord") || op == v_of("iowr")) {
+    // Device operations go through the I/O controller.
+    auto io_row = ioc_index_->find({op, v_of("idle")});
+    if (!io_row) {
+      record_error("IOC table has no row for device op " +
+                   std::string(op.str()));
+      return true;
+    }
+    n.outbox.push_back(
+        SimMessage{ioc_index_->at(*io_row, "outmsg"), addr, q,
+                   home_of(addr), v_of("local"), v_of("home"), -1});
+    n.io_cur = addr;
+    n.iocst = ioc_index_->at(*io_row, "nxtiocst");
+    if (trace_) {
+      std::cout << "[" << now_ << "] DEV" << q << " " << op.str() << " a"
+                << addr << "\n";
+    }
+    return true;
+  }
+
+  auto row = nc_index_->find({op, v_of("idle")});
+  if (!row) {
+    record_error("NC table has no row for processor op " +
+                 std::string(op.str()));
+    return true;
+  }
+  const Value netmsg = nc_index_->at(*row, "netmsg");
+  const Value fillmsg = nc_index_->at(*row, "fillmsg");
+  const std::int64_t ver = n.cver.count(addr) ? n.cver[addr] : -1;
+  if (!fillmsg.is_null()) {
+    (void)apply_cache(q, std::string(fillmsg.str()), addr);
+  }
+  if (!netmsg.is_null()) {
+    n.outbox.push_back(SimMessage{netmsg, addr, q, home_of(addr),
+                                  v_of("local"), v_of("home"), ver});
+  }
+  n.cur = addr;
+  n.ncst = nc_index_->at(*row, "nxtncst");
+  if (trace_) {
+    std::cout << "[" << now_ << "] P" << q << " " << op.str() << " a"
+              << addr << "\n";
+  }
+  return true;
+}
+
+SimResult Machine::run() {
+  SimResult result;
+  const std::uint64_t stall_threshold =
+      static_cast<std::uint64_t>(memory_latency_) + 16;
+  std::uint64_t stall = 0;
+
+  for (now_ = 0; now_ < config_.max_steps; ++now_) {
+    bool progress = false;
+    for (auto& he : homes_) {
+      if (he.cooldown > 0) --he.cooldown;
+    }
+    for (QuadId q = 0; q < config_.n_quads; ++q) {
+      for (const auto& ref : net_.queues_to(q)) {
+        const SimMessage* msg = net_.front(ref);
+        if (msg == nullptr) continue;
+        progress |= deliver(q, ref, *msg);
+      }
+      progress |= drain_outbox(q);
+      progress |= inject(q);
+    }
+
+    // Completion: nothing in flight, all nodes idle and out of work.
+    bool all_done = net_.in_flight() == 0;
+    for (const auto& n : nodes_) {
+      if (n.ncst != v_of("idle") || n.iocst != v_of("idle") ||
+          !n.outbox.empty() || !n.scripted.empty() ||
+          n.random_remaining > 0) {
+        all_done = false;
+      }
+    }
+    if (all_done) {
+      result.completed = true;
+      break;
+    }
+
+    if (progress) {
+      stall = 0;
+    } else if (++stall > stall_threshold) {
+      if (net_.in_flight() > 0) {
+        result.deadlocked = true;
+        result.deadlock_report = net_.describe_blocked();
+      } else {
+        result.stalled = true;
+      }
+      break;
+    }
+  }
+
+  result.steps = now_;
+  for (const auto& n : nodes_) result.transactions_done += n.done;
+  if (!result.completed && !result.deadlocked && !result.stalled) {
+    result.stalled = true;  // ran out of steps
+  }
+  if (result.completed) {
+    auto quiescent = check_quiescent_state();
+    errors_.insert(errors_.end(), quiescent.begin(), quiescent.end());
+  }
+  result.errors = errors_;
+  return result;
+}
+
+std::vector<std::string> Machine::check_quiescent_state() const {
+  std::vector<std::string> out;
+  for (Addr a = 0; a < config_.n_addrs; ++a) {
+    const auto& dir = homes_[static_cast<std::size_t>(home_of(a))].dir;
+    auto it = dir.find(a);
+    const DirLine* l = it == dir.end() ? nullptr : &it->second;
+    std::set<QuadId> holders;
+    int owners = 0;
+    for (QuadId q = 0; q < config_.n_quads; ++q) {
+      auto cit = nodes_[static_cast<std::size_t>(q)].cst.find(a);
+      if (cit == nodes_[static_cast<std::size_t>(q)].cst.end()) continue;
+      if (cit->second == v_of("S")) holders.insert(q);
+      if (cit->second == v_of("M") || cit->second == v_of("E")) {
+        holders.insert(q);
+        ++owners;
+      }
+    }
+    const Value dirst = l ? l->dirst : v_of("I");
+    if (l && l->bdirst != v_of("I")) {
+      out.push_back("busy entry left at quiescence, addr " +
+                    std::to_string(a));
+      continue;
+    }
+    if (dirst == v_of("I") && !holders.empty()) {
+      out.push_back("directory I but cached, addr " + std::to_string(a));
+    }
+    if (dirst == v_of("MESI") &&
+        (owners != 1 || holders != l->pv || l->pv.size() != 1)) {
+      out.push_back("directory MESI inconsistent, addr " +
+                    std::to_string(a));
+    }
+    if (dirst == v_of("SI")) {
+      // The presence vector may conservatively overcount (a sharer whose
+      // writeback/flush was absorbed stays marked until re-invalidated)
+      // but must never undercount, and no owner may exist.
+      const bool covered = std::includes(l->pv.begin(), l->pv.end(),
+                                         holders.begin(), holders.end());
+      if (owners != 0 || !covered) {
+        out.push_back("directory SI inconsistent, addr " +
+                      std::to_string(a));
+      }
+    }
+  }
+  return out;
+}
+
+
+// ---- Single-action interface (exhaustive exploration) -----------------------
+
+std::string Machine::Action::to_string() const {
+  switch (kind) {
+    case Kind::kDeliver:
+      return "deliver(" + std::to_string(queue.src) + "->" +
+             std::to_string(queue.dst) + " " +
+             (queue.vc.is_null() ? "direct" : std::string(queue.vc.str())) +
+             ")";
+    case Kind::kDrain:
+      return "drain(node " + std::to_string(node) + ")";
+    case Kind::kInject:
+      return std::string(op.str()) + "(node " + std::to_string(node) +
+             ", a" + std::to_string(addr) + ")";
+  }
+  return "?";
+}
+
+std::vector<std::pair<Value, Addr>> Machine::legal_ops(QuadId q) const {
+  std::vector<std::pair<Value, Addr>> out;
+  const Node& n = nodes_[static_cast<std::size_t>(q)];
+  if (n.ncst != v_of("idle") || n.iocst != v_of("idle")) return out;
+  for (Addr a = 0; a < config_.n_addrs; ++a) {
+    auto it = n.cst.find(a);
+    const Value cst = it == n.cst.end() ? v_of("I") : it->second;
+    if (cst == v_of("I")) {
+      for (const char* op : {"prd", "pwr", "patomic", "iord", "iowr"}) {
+        out.emplace_back(v_of(op), a);
+      }
+    } else if (cst == v_of("S")) {
+      for (const char* op : {"pup", "pfl", "pevict"}) {
+        out.emplace_back(v_of(op), a);
+      }
+    } else {
+      out.emplace_back(v_of("pwb"), a);
+    }
+  }
+  return out;
+}
+
+std::vector<Machine::Action> Machine::possible_actions() const {
+  std::vector<Action> out;
+  for (QuadId q = 0; q < config_.n_quads; ++q) {
+    for (const auto& ref : net_.queues_to(q)) {
+      Action a;
+      a.kind = Action::Kind::kDeliver;
+      a.queue = ref;
+      out.push_back(a);
+    }
+  }
+  for (QuadId q = 0; q < config_.n_quads; ++q) {
+    const Node& n = nodes_[static_cast<std::size_t>(q)];
+    if (!n.outbox.empty()) {
+      Action a;
+      a.kind = Action::Kind::kDrain;
+      a.node = q;
+      out.push_back(a);
+    }
+    if (n.random_remaining > 0) {
+      for (const auto& [op, addr] : legal_ops(q)) {
+        Action a;
+        a.kind = Action::Kind::kInject;
+        a.node = q;
+        a.op = op;
+        a.addr = addr;
+        out.push_back(a);
+      }
+    }
+  }
+  return out;
+}
+
+bool Machine::apply_action(const Action& action) {
+  switch (action.kind) {
+    case Action::Kind::kDeliver: {
+      const SimMessage* msg = net_.front(action.queue);
+      if (msg == nullptr) return false;
+      // Exploration abstracts memory timing: the interleavings themselves
+      // cover all orderings, so the cooldown is ignored here.
+      for (auto& he : homes_) he.cooldown = 0;
+      return deliver(action.queue.dst, action.queue, *msg);
+    }
+    case Action::Kind::kDrain:
+      return drain_outbox(action.node);
+    case Action::Kind::kInject: {
+      Node& n = node(action.node);
+      if (n.ncst != v_of("idle") || n.iocst != v_of("idle") ||
+          n.random_remaining <= 0) {
+        return false;
+      }
+      --n.random_remaining;
+      return issue_op(action.node, action.op, action.addr);
+    }
+  }
+  return false;
+}
+
+Machine::Snapshot Machine::snapshot() const {
+  return Snapshot{homes_, nodes_, gv_, net_.state(), errors_};
+}
+
+void Machine::restore(const Snapshot& snap) {
+  homes_ = snap.homes;
+  nodes_ = snap.nodes;
+  gv_ = snap.gv;
+  net_.set_state(snap.net);
+  errors_ = snap.errors;
+}
+
+std::string Machine::fingerprint() const {
+  // Data versions are normalised per address (order-preserving dense rank)
+  // so the visited set is finite: states differing only by absolute version
+  // numbers are control-equivalent.
+  std::map<Addr, std::map<std::int64_t, int>> rank;
+  auto note = [&](Addr a, std::int64_t v) {
+    if (v >= 0) rank[a][v] = 0;
+  };
+  for (const auto& he : homes_) {
+    for (const auto& [a, v] : he.memory) note(a, v);
+    for (const auto& [a, l] : he.dir) {
+      note(a, l.held);
+      note(a, l.txver);
+    }
+  }
+  for (const auto& n : nodes_) {
+    for (const auto& [a, v] : n.cver) note(a, v);
+    for (const auto& m : n.outbox) note(m.addr, m.version);
+  }
+  for (const auto& [key, queue] : net_.state()) {
+    for (const auto& m : queue) note(m.addr, m.version);
+  }
+  for (const auto& [a, v] : gv_) note(a, v);
+  for (auto& [a, vs] : rank) {
+    int r = 0;
+    for (auto& [v, id] : vs) id = r++;
+  }
+  auto enc = [&](Addr a, std::int64_t v) {
+    return v < 0 ? std::string("-") : std::to_string(rank[a][v]);
+  };
+
+  std::string fp;
+  auto num = [&](long long v) {
+    fp += std::to_string(v);
+    fp += ',';
+  };
+  auto sym = [&](Value v) {
+    fp += std::to_string(v.id());
+    fp += ',';
+  };
+  for (const auto& he : homes_) {
+    fp += "H:";
+    for (const auto& [a, l] : he.dir) {
+      num(a);
+      sym(l.dirst);
+      for (QuadId q : l.pv) num(q);
+      fp += ';';
+      sym(l.bdirst);
+      num(l.pending);
+      num(l.requester);
+      fp += enc(a, l.held);
+      fp += ',';
+      fp += enc(a, l.txver);
+      fp += '|';
+    }
+    fp += "M:";
+    for (const auto& [a, v] : he.memory) {
+      num(a);
+      fp += enc(a, v);
+      fp += '|';
+    }
+  }
+  for (const auto& n : nodes_) {
+    fp += "N:";
+    for (const auto& [a, c] : n.cst) {
+      num(a);
+      sym(c);
+      fp += enc(a, n.cver.count(a) ? n.cver.at(a) : -1);
+      fp += '|';
+    }
+    sym(n.ncst);
+    num(n.cur);
+    sym(n.iocst);
+    num(n.io_cur);
+    num(n.random_remaining);
+    for (const auto& m : n.outbox) {
+      sym(m.type);
+      num(m.addr);
+      num(m.dst);
+      fp += enc(m.addr, m.version);
+      fp += '|';
+    }
+  }
+  fp += "Q:";
+  for (const auto& [key, queue] : net_.state()) {
+    if (queue.empty()) continue;
+    num(key.src);
+    num(key.dst);
+    sym(key.vc);
+    for (const auto& m : queue) {
+      sym(m.type);
+      num(m.addr);
+      num(m.src);
+      fp += enc(m.addr, m.version);
+      fp += '|';
+    }
+    fp += '/';
+  }
+  return fp;
+}
+
+bool Machine::quiescent() const {
+  if (net_.in_flight() != 0) return false;
+  for (const auto& n : nodes_) {
+    if (n.ncst != v_of("idle") || n.iocst != v_of("idle") ||
+        !n.outbox.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Machine::injection_budget() const {
+  int total = 0;
+  for (const auto& n : nodes_) total += n.random_remaining;
+  return total;
+}
+
+}  // namespace ccsql::sim

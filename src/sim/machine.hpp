@@ -1,0 +1,225 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "protocol/protocol_spec.hpp"
+#include "sim/network.hpp"
+#include "sim/table_index.hpp"
+#include "sim/types.hpp"
+
+namespace ccsql::sim {
+
+/// Outcome of a simulation run.
+struct SimResult {
+  bool completed = false;   // all injected transactions finished
+  bool deadlocked = false;  // no progress with messages in flight
+  bool stalled = false;     // hit max_steps without completing
+  std::uint64_t steps = 0;
+  int transactions_done = 0;
+  /// Rows the tables could not cover (specification incompleteness) and
+  /// coherence-monitor violations; empty on a healthy run.
+  std::vector<std::string> errors;
+  std::string deadlock_report;
+
+  [[nodiscard]] bool healthy() const {
+    return completed && !deadlocked && errors.empty();
+  }
+};
+
+/// A table-driven execution of the ASURA protocol: quads with a node each
+/// (cache + node controller), a home engine per quad (directory + memory
+/// controller) and a remote snoop engine, wired by finite virtual channels
+/// per the chosen assignment.  All control decisions come from the
+/// generated controller tables — the simulator owns state and transport
+/// only, so a wrong table row surfaces as a dynamic error here.
+class Machine {
+ public:
+  // ---- Controller-state records (public: Snapshot exposes them) -----------
+  struct DirLine {
+    Value dirst;             // I / SI / MESI
+    std::set<QuadId> pv;     // sharers / owner
+    Value bdirst;            // I or a busy state
+    int pending = 0;         // outstanding snoop acks
+    QuadId requester = -1;   // local node of the in-flight transaction
+    std::int64_t held = -1;  // buffered data version
+    std::int64_t txver = -1; // data version carried by the transaction
+  };
+
+  struct HomeEngine {
+    std::map<Addr, DirLine> dir;
+    std::map<Addr, std::int64_t> memory;
+    int cooldown = 0;  // memory-latency countdown
+  };
+
+  struct Node {
+    std::map<Addr, Value> cst;             // cache line states
+    std::map<Addr, std::int64_t> cver;     // cache data versions
+    Value ncst;                            // node controller state
+    Addr cur = -1;                         // outstanding address
+    Value iocst;                           // I/O controller state
+    Addr io_cur = -1;                      // outstanding I/O address
+    std::deque<SimMessage> outbox;         // the RAC decoupling buffer
+    std::deque<std::pair<Value, Addr>> scripted;
+    int random_remaining = 0;
+    int done = 0;
+  };
+
+  Machine(const ProtocolSpec& spec, const ChannelAssignment& v,
+          SimConfig config);
+
+  /// Pre-establishes a line's global state: `dirst` in {I, SI, MESI}, with
+  /// the given holders (sharers for SI, the single owner for MESI).
+  void set_line(Addr addr, std::string_view dirst,
+                const std::vector<QuadId>& holders);
+
+  /// Scripts a processor operation (prd/pwr/pup/pwb/pfl); scripted ops are
+  /// issued in order per node, each when the node controller is idle.
+  void script(QuadId node, std::string_view op, Addr addr);
+
+  /// Enables the random workload: each node issues `transactions_per_node`
+  /// legal operations (from SimConfig).
+  void enable_random_workload();
+
+  /// Extra scheduler steps the memory controller waits between messages
+  /// (models memory latency; the Figure 4 interleaving needs a slow
+  /// memory).  Also applied as the initial busy time.
+  void set_memory_latency(int steps) {
+    memory_latency_ = steps;
+    for (auto& he : homes_) he.cooldown = steps;
+  }
+
+  SimResult run();
+
+  /// Quiescent-state cross-check (directory vs caches); called by run()
+  /// at completion and available to tests.
+  [[nodiscard]] std::vector<std::string> check_quiescent_state() const;
+
+  // ---- Single-action interface (exhaustive exploration) --------------------
+  // The explicit-state baseline (checks/reach.hpp) drives the machine one
+  // atomic action at a time and snapshots/restores state between branches.
+
+  struct Action {
+    enum class Kind { kDeliver, kDrain, kInject };
+    Kind kind = Kind::kDeliver;
+    Network::QueueRef queue;  // kDeliver
+    QuadId node = -1;         // kDrain / kInject
+    Value op;                 // kInject (processor/device op)
+    Addr addr = -1;           // kInject
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  /// Candidate actions in the current state.  A candidate may still fail
+  /// to apply (blocked output channel): apply_action reports that.
+  [[nodiscard]] std::vector<Action> possible_actions() const;
+
+  /// Applies one action; returns true iff the state advanced.
+  bool apply_action(const Action& action);
+
+  /// Opaque copy of the entire mutable state.
+  struct Snapshot {
+    std::vector<HomeEngine> homes;
+    std::vector<Node> nodes;
+    std::map<Addr, std::int64_t> gv;
+    Network::State net;
+    std::vector<std::string> errors;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  /// Canonical encoding of the state, for visited-set hashing.
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// True when nothing is in flight and every controller is idle.
+  [[nodiscard]] bool quiescent() const;
+
+  [[nodiscard]] const std::vector<std::string>& errors() const noexcept {
+    return errors_;
+  }
+  void clear_errors() { errors_.clear(); }
+
+  /// Remaining random-workload budget across all nodes (0 in scripted use).
+  [[nodiscard]] int injection_budget() const;
+
+  /// Occupied-channel dump (deadlock reporting).
+  [[nodiscard]] std::string describe_network() const {
+    return net_.describe_blocked();
+  }
+
+ private:
+
+  // -- helpers ---------------------------------------------------------------
+  [[nodiscard]] QuadId home_of(Addr a) const {
+    return a % config_.n_quads;
+  }
+  DirLine& line(QuadId home, Addr a);
+  Node& node(QuadId q) { return nodes_[static_cast<std::size_t>(q)]; }
+  static Value enc_count(std::size_t n);
+
+  /// Snoop targets for the row being applied.
+  std::vector<QuadId> snoop_targets(const DirLine& l, QuadId requester) const;
+
+  // -- controller steps (return true on progress) ----------------------------
+  bool step_directory(QuadId q, const Network::QueueRef& ref,
+                      const SimMessage& msg);
+  bool step_memory(QuadId q, const Network::QueueRef& ref,
+                   const SimMessage& msg);
+  bool step_rsn(QuadId q, const Network::QueueRef& ref,
+                const SimMessage& msg);
+  bool step_node_response(QuadId q, const Network::QueueRef& ref,
+                          const SimMessage& msg);
+  bool step_ioc(QuadId q, const Network::QueueRef& ref,
+                const SimMessage& msg);
+  bool drain_outbox(QuadId q);
+  bool inject(QuadId q);
+
+  /// Routes a queue-head message to its consuming controller.
+  bool deliver(QuadId q, const Network::QueueRef& ref, const SimMessage& msg);
+
+  /// Issues one processor/device operation (hit handling included); true on
+  /// progress.
+  bool issue_op(QuadId q, Value op, Addr addr);
+
+  /// Transaction-generating operations legal for this node right now.
+  [[nodiscard]] std::vector<std::pair<Value, Addr>> legal_ops(QuadId q) const;
+
+  /// Applies a cache command via the CC table; returns the output message
+  /// type (cack/cdata/cwbdata/hit/miss or NULL).
+  Value apply_cache(QuadId q, std::string_view cmd, Addr addr);
+
+  /// Applies a node-internal NC input (wbcancel / synthetic retry) via the
+  /// NC table — no network message involved.
+  void apply_nc_internal(QuadId q, Value type, Addr addr);
+
+  void record_error(std::string what);
+  void check_swmr(Addr addr);
+
+  const ProtocolSpec* spec_;
+  SimConfig config_;
+  Network net_;
+  int memory_latency_ = 0;
+
+  std::unique_ptr<TableIndex> d_index_;
+  std::unique_ptr<TableIndex> m_index_;
+  std::unique_ptr<TableIndex> nc_index_;
+  std::unique_ptr<TableIndex> cc_index_;
+  std::unique_ptr<TableIndex> rsn_index_;
+  std::unique_ptr<TableIndex> ioc_index_;
+
+  std::vector<HomeEngine> homes_;
+  std::vector<Node> nodes_;
+  std::map<Addr, std::int64_t> gv_;  // committed write versions
+
+  std::vector<std::string> errors_;
+  std::mt19937 rng_;
+  bool trace_ = false;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace ccsql::sim

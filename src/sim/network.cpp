@@ -1,0 +1,78 @@
+#include "sim/network.hpp"
+
+#include <sstream>
+
+namespace ccsql::sim {
+
+Network::Network(const ChannelAssignment& v, int n_quads, int capacity)
+    : v_(&v), n_quads_(n_quads), capacity_(static_cast<std::size_t>(capacity)) {}
+
+std::pair<Value, Value> Network::role_pair(const SimMessage& msg,
+                                           QuadId /*home*/) const {
+  return {msg.role_src, msg.role_dst};
+}
+
+std::optional<Value> Network::vc_of(const SimMessage& msg,
+                                    QuadId home) const {
+  auto [rs, rd] = role_pair(msg, home);
+  return v_->vc_for(msg.type, rs, rd);
+}
+
+bool Network::can_send(const SimMessage& msg, QuadId home) const {
+  const auto vc = vc_of(msg, home);
+  if (!vc) return true;  // dedicated path, unbounded
+  auto it = queues_.find(Key{msg.src, msg.dst, *vc});
+  return it == queues_.end() || it->second.size() < capacity_;
+}
+
+void Network::send(const SimMessage& msg, QuadId home) {
+  const auto vc = vc_of(msg, home);
+  const Value channel = vc ? *vc : Value{};
+  queues_[Key{msg.src, msg.dst, channel}].push_back(msg);
+  ++in_flight_;
+}
+
+std::vector<Network::QueueRef> Network::queues_to(QuadId dst) const {
+  std::vector<QueueRef> out;
+  for (const auto& [key, queue] : queues_) {
+    if (key.dst == dst && !queue.empty()) {
+      out.push_back(QueueRef{key.src, key.dst, key.vc});
+    }
+  }
+  return out;
+}
+
+const SimMessage* Network::front(const QueueRef& q) const {
+  auto it = queues_.find(Key{q.src, q.dst, q.vc});
+  if (it == queues_.end() || it->second.empty()) return nullptr;
+  return &it->second.front();
+}
+
+void Network::pop(const QueueRef& q) {
+  auto it = queues_.find(Key{q.src, q.dst, q.vc});
+  if (it != queues_.end() && !it->second.empty()) {
+    it->second.pop_front();
+    --in_flight_;
+  }
+}
+
+void Network::set_state(State state) {
+  queues_ = std::move(state);
+  in_flight_ = 0;
+  for (const auto& [key, queue] : queues_) in_flight_ += queue.size();
+}
+
+std::string Network::describe_blocked() const {
+  std::ostringstream os;
+  for (const auto& [key, queue] : queues_) {
+    if (queue.empty()) continue;
+    os << "  " << (key.vc.is_null() ? "direct" : std::string(key.vc.str()))
+       << " " << key.src << "->" << key.dst << " [" << queue.size() << "/"
+       << capacity_ << "]:";
+    for (const auto& m : queue) os << ' ' << m.to_string();
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ccsql::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "protocol/channel_assignment.hpp"
+#include "sim/types.hpp"
+
+namespace ccsql::sim {
+
+/// The interconnect: finite-capacity virtual-channel FIFOs per directed
+/// quad pair, as assigned by the protocol's V table, plus unbounded
+/// dedicated paths for messages V leaves unassigned (the paper's fix) and
+/// for intra-node delivery.
+///
+/// Blocking-send semantics are what make deadlocks real here: a controller
+/// may only consume an input if every output it must emit has channel
+/// space, exactly like the paper's Figure 4 scenario.
+class Network {
+ public:
+  Network(const ChannelAssignment& v, int n_quads, int capacity);
+
+  /// The role-level (src, dst) pair used to look a message up in V.
+  /// `home` is the home quad of msg.addr.
+  [[nodiscard]] std::pair<Value, Value> role_pair(const SimMessage& msg,
+                                                  QuadId home) const;
+
+  /// The virtual channel of a message, or nullopt for dedicated paths.
+  [[nodiscard]] std::optional<Value> vc_of(const SimMessage& msg,
+                                           QuadId home) const;
+
+  /// True if the message can be sent now (always true on dedicated paths).
+  [[nodiscard]] bool can_send(const SimMessage& msg, QuadId home) const;
+
+  /// Enqueues; the caller must have checked can_send.
+  void send(const SimMessage& msg, QuadId home);
+
+  /// A channel endpoint for receivers: all queues addressed to `dst`.
+  struct QueueRef {
+    QuadId src;
+    QuadId dst;
+    Value vc;  // NULL for the dedicated-path queue
+  };
+  [[nodiscard]] std::vector<QueueRef> queues_to(QuadId dst) const;
+
+  [[nodiscard]] const SimMessage* front(const QueueRef& q) const;
+  void pop(const QueueRef& q);
+
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+
+  /// Occupancy of every non-empty queue, for deadlock reports.
+  [[nodiscard]] std::string describe_blocked() const;
+
+  struct Key {
+    QuadId src;
+    QuadId dst;
+    Value vc;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return vc < o.vc;
+    }
+  };
+
+  /// Full queue state, for snapshot/restore in exhaustive exploration.
+  using State = std::map<Key, std::deque<SimMessage>>;
+  [[nodiscard]] const State& state() const noexcept { return queues_; }
+  void set_state(State state);
+
+ private:
+
+  const ChannelAssignment* v_;
+  int n_quads_;
+  std::size_t capacity_;
+  State queues_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace ccsql::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "relational/value.hpp"
+
+namespace ccsql::sim {
+
+/// Node/quad identifier.  The simulator models one node per quad (the
+/// paper's quads contain 4 nodes; coherence traffic is quad-level, so one
+/// representative node per quad exercises the same protocol paths).
+using QuadId = int;
+
+/// Cache-line address.  The home quad of an address is addr % n_quads.
+using Addr = int;
+
+/// A protocol message in flight.
+struct SimMessage {
+  Value type;        // catalogued message name
+  Addr addr = 0;
+  QuadId src = 0;
+  QuadId dst = 0;
+  /// Role-level (source, destination) as stamped by the emitting controller
+  /// table row — the key into the virtual channel assignment V.  Roles are
+  /// carried explicitly because co-located roles (the paper's quad
+  /// placements) make them unrecoverable from the quad endpoints alone.
+  Value role_src;
+  Value role_dst;
+  /// Data version carried by data-bearing messages (coherence monitor).
+  std::int64_t version = -1;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(type.str()) + "(a" + std::to_string(addr) + " " +
+           std::to_string(src) + "->" + std::to_string(dst) + ")";
+  }
+};
+
+/// Simulation configuration.
+struct SimConfig {
+  int n_quads = 2;
+  int n_addrs = 4;
+  /// Per-link per-channel FIFO capacity; small capacities expose the
+  /// Figure 4 deadlock quickly.
+  int channel_capacity = 1;
+  /// Maximum scheduler steps before the run is declared stalled.
+  std::uint64_t max_steps = 200000;
+  /// Transactions to inject per node.
+  int transactions_per_node = 50;
+  unsigned seed = 1;
+  bool trace = false;
+};
+
+}  // namespace ccsql::sim

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "relational/expr.hpp"
+#include "relational/parser.hpp"
+
+namespace ccsql {
+
+/// A column constraint (paper, section 3): a boolean expression attached to
+/// one column of a controller table, relating that column's value to the
+/// other columns.  A controller table is the set of all assignments over the
+/// column domains satisfying the conjunction of its column constraints.
+///
+/// The constraint of an unconstrained column is `true`.
+struct ColumnConstraint {
+  std::string column;
+  Expr expr;
+
+  /// Parses constraint text, e.g.
+  ///   `inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL`
+  static ColumnConstraint from_text(std::string column,
+                                    std::string_view text) {
+    return ColumnConstraint{std::move(column), parse_expr(text)};
+  }
+
+  /// The always-true constraint for an unconstrained column.
+  static ColumnConstraint unconstrained(std::string column) {
+    return ColumnConstraint{std::move(column), Expr::boolean(true)};
+  }
+};
+
+}  // namespace ccsql

@@ -1,0 +1,181 @@
+#include "solver/generator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "relational/error.hpp"
+#include "relational/expr.hpp"
+
+namespace ccsql {
+
+void GenerationInput::validate() const {
+  if (!schema) throw SchemaError("GenerationInput: null schema");
+  if (domains.size() != schema->size()) {
+    throw SchemaError("GenerationInput: " + std::to_string(domains.size()) +
+                      " domains for " + std::to_string(schema->size()) +
+                      " columns");
+  }
+  for (const auto& d : domains) {
+    if (!schema->has(d.column())) {
+      throw BindError("domain for unknown column: " + d.column());
+    }
+    if (d.size() == 0) {
+      throw SchemaError("empty domain for column: " + d.column());
+    }
+  }
+  // Exactly one domain per column.
+  for (std::size_t i = 0; i < schema->size(); ++i) {
+    const auto& name = schema->column(i).name;
+    const auto count = std::count_if(
+        domains.begin(), domains.end(),
+        [&](const Domain& d) { return d.column() == name; });
+    if (count != 1) {
+      throw SchemaError("column " + name + " has " + std::to_string(count) +
+                        " domains");
+    }
+  }
+  for (const auto& c : constraints) {
+    if (!schema->has(c.column)) {
+      throw BindError("constraint on unknown column: " + c.column);
+    }
+  }
+}
+
+std::uint64_t GenerationInput::cross_cardinality() const {
+  std::uint64_t n = 1;
+  for (const auto& d : domains) {
+    const std::uint64_t s = d.size();
+    if (n > std::numeric_limits<std::uint64_t>::max() / s) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    n *= s;
+  }
+  return n;
+}
+
+namespace {
+
+const Domain& domain_for(const GenerationInput& in, const std::string& name) {
+  for (const auto& d : in.domains) {
+    if (d.column() == name) return d;
+  }
+  throw BindError("no domain for column: " + name);  // validate() precludes
+}
+
+/// One-column table over a domain, carrying the column kind from `schema`.
+Table domain_table(const Domain& d, const Schema& schema) {
+  Column col = schema.column(schema.index_of(d.column()));
+  Table t(make_schema({col}));
+  t.reserve_rows(d.size());
+  for (Value v : d.values()) t.append({v});
+  return t;
+}
+
+}  // namespace
+
+Table generate_incremental(const GenerationInput& input,
+                           IncrementalTrace* trace) {
+  input.validate();
+  const Schema& full = *input.schema;
+  std::vector<bool> applied(input.constraints.size(), false);
+
+  Table cur = Table::unit();
+  for (std::size_t ci = 0; ci < full.size(); ++ci) {
+    const std::string& col = full.column(ci).name;
+    cur = Table::cross(cur, domain_table(domain_for(input, col), full));
+
+    IncrementalTrace::Step step;
+    step.column = col;
+    step.rows_before_filter = cur.row_count();
+
+    // Conjoin every pending constraint that is now fully bound.
+    std::vector<Expr> ready;
+    for (std::size_t k = 0; k < input.constraints.size(); ++k) {
+      if (applied[k]) continue;
+      bool bound = true;
+      for (const auto& ref :
+           input.constraints[k].expr.referenced_columns(full)) {
+        if (!cur.schema().has(ref)) {
+          bound = false;
+          break;
+        }
+      }
+      if (bound) {
+        applied[k] = true;
+        ready.push_back(input.constraints[k].expr);
+        step.constraints_applied.push_back(input.constraints[k].column);
+      }
+    }
+    if (!ready.empty()) {
+      CompiledExpr pred = compile(Expr::conjunction(std::move(ready)),
+                                  cur.schema(), full, input.functions);
+      cur = cur.select(pred.predicate());
+    }
+    step.rows_after = cur.row_count();
+    if (trace != nullptr) trace->steps.push_back(std::move(step));
+  }
+  return cur;
+}
+
+Table generate_monolithic(const GenerationInput& input) {
+  input.validate();
+  const Schema& full = *input.schema;
+
+  // Domains in schema order.
+  std::vector<const Domain*> doms;
+  doms.reserve(full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    doms.push_back(&domain_for(input, full.column(i).name));
+  }
+
+  std::vector<CompiledExpr> preds;
+  preds.reserve(input.constraints.size());
+  for (const auto& c : input.constraints) {
+    preds.push_back(compile(c.expr, full, full, input.functions));
+  }
+
+  Table out(input.schema);
+  if (full.size() == 0) return Table::unit();
+
+  // Odometer enumeration of the cross product (no materialization).
+  std::vector<std::size_t> idx(full.size(), 0);
+  std::vector<Value> row(full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    row[i] = doms[i]->values()[0];
+  }
+  for (;;) {
+    bool ok = true;
+    for (const auto& p : preds) {
+      if (!p.eval(RowView(row))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.append(RowView(row));
+
+    // Advance the odometer (last column fastest).
+    std::size_t i = full.size();
+    while (i > 0) {
+      --i;
+      if (++idx[i] < doms[i]->size()) {
+        row[i] = doms[i]->values()[idx[i]];
+        break;
+      }
+      idx[i] = 0;
+      row[i] = doms[i]->values()[0];
+      if (i == 0) return out;
+    }
+  }
+}
+
+std::string first_emptying_column(const GenerationInput& input) {
+  IncrementalTrace trace;
+  Table t = generate_incremental(input, &trace);
+  if (t.row_count() != 0) return "";
+  for (const auto& s : trace.steps) {
+    if (s.rows_after == 0) return s.column;
+  }
+  return "";
+}
+
+}  // namespace ccsql

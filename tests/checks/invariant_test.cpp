@@ -1,0 +1,108 @@
+#include "checks/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/asura/asura.hpp"
+#include "relational/error.hpp"
+
+namespace ccsql {
+namespace {
+
+Catalog small_db() {
+  Catalog cat;
+  Table d(Schema::of({"dirst", "dirpv"}));
+  d.append({V("MESI"), V("one")});
+  d.append({V("SI"), V("gone")});
+  d.append({V("I"), V("zero")});
+  cat.put("D", std::move(d));
+  return cat;
+}
+
+TEST(InvariantChecker, PassingInvariant) {
+  Catalog cat = small_db();
+  InvariantChecker checker(cat);
+  NamedInvariant inv{"consistency", "",
+                     "[select dirst from D where dirst = MESI and "
+                     "not dirpv = one] = empty"};
+  InvariantResult r = checker.check(inv);
+  EXPECT_TRUE(r.holds);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_GT(r.micros, 0.0);
+  EXPECT_EQ(r.name, "consistency");
+}
+
+TEST(InvariantChecker, FailingInvariantReportsViolatingRows) {
+  Catalog cat = small_db();
+  InvariantChecker checker(cat);
+  NamedInvariant inv{"no-shared", "",
+                     "[select dirst, dirpv from D where dirst = SI] = empty"};
+  InvariantResult r = checker.check(inv);
+  EXPECT_FALSE(r.holds);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].row_count(), 1u);
+  EXPECT_EQ(r.violations[0].at(0, "dirpv"), V("gone"));
+}
+
+TEST(InvariantChecker, ConjunctionReportsEachFailingCheck) {
+  Catalog cat = small_db();
+  InvariantChecker checker(cat);
+  NamedInvariant inv{
+      "two-checks", "",
+      "[select dirst from D where dirst = SI] = empty and "
+      "[select dirst from D where dirst = I] = empty and "
+      "[select dirst from D where dirst = nosuch] = empty"};
+  InvariantResult r = checker.check(inv);
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.violations.size(), 2u);
+}
+
+TEST(InvariantChecker, CheckAllAndAllHold) {
+  Catalog cat = small_db();
+  InvariantChecker checker(cat);
+  std::vector<NamedInvariant> suite{
+      {"ok", "", "[select dirst from D where dirst = nosuch] = empty"},
+      {"bad", "", "[select dirst from D where dirst = I] = empty"},
+  };
+  auto results = checker.check_all(suite);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].holds);
+  EXPECT_FALSE(results[1].holds);
+  EXPECT_FALSE(InvariantChecker::all_hold(results));
+  results.pop_back();
+  EXPECT_TRUE(InvariantChecker::all_hold(results));
+}
+
+TEST(InvariantChecker, ReportMentionsFailuresAndCounts) {
+  Catalog cat = small_db();
+  InvariantChecker checker(cat);
+  std::vector<NamedInvariant> suite{
+      {"ok", "", "[select dirst from D where dirst = nosuch] = empty"},
+      {"bad", "", "[select dirst from D where dirst = I] = empty"},
+  };
+  std::string report = InvariantChecker::report(checker.check_all(suite));
+  EXPECT_NE(report.find("FAIL bad"), std::string::npos);
+  EXPECT_EQ(report.find("PASS ok"), std::string::npos);  // non-verbose
+  EXPECT_NE(report.find("2 invariants, 1 violated"), std::string::npos);
+  std::string verbose =
+      InvariantChecker::report(checker.check_all(suite), /*verbose=*/true);
+  EXPECT_NE(verbose.find("PASS ok"), std::string::npos);
+}
+
+TEST(InvariantChecker, MalformedSqlThrows) {
+  Catalog cat = small_db();
+  InvariantChecker checker(cat);
+  NamedInvariant inv{"broken", "", "[select from] = empty"};
+  EXPECT_THROW((void)checker.check(inv), ParseError);
+}
+
+TEST(InvariantChecker, FullAsuraSuiteHolds) {
+  auto spec = asura::make_asura();
+  InvariantChecker checker(spec->database());
+  auto results = checker.check_all(spec->invariants());
+  EXPECT_GE(results.size(), 45u);
+  EXPECT_TRUE(InvariantChecker::all_hold(results))
+      << InvariantChecker::report(results);
+}
+
+}  // namespace
+}  // namespace ccsql

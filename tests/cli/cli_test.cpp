@@ -1,0 +1,134 @@
+// End-to-end smoke tests of the ccsql command-line driver: every command
+// runs, produces the expected headline output, and returns the documented
+// exit code.  The binary path is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run(const std::string& args) {
+  const std::string cmd = std::string(CCSQL_BIN) + " " + args + " 2>&1";
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    r.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+TEST(Cli, NoArgsShowsUsage) {
+  RunResult r = run("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage: ccsql"), std::string::npos);
+}
+
+TEST(Cli, TablesListsAllEight) {
+  RunResult r = run("tables");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* name : {"D:", "M:", "NC:", "CC:", "RSN:", "RAC:", "IOC:",
+                           "INT:"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, TablesSingleCsv) {
+  RunResult r = run("tables M --csv");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("inmsg,"), std::string::npos);
+  EXPECT_NE(r.output.find("mread,"), std::string::npos);
+}
+
+TEST(Cli, SqlStatementChain) {
+  RunResult r = run(
+      "sql \"create table T as select distinct dirst from D; "
+      "select count(*) from T order by count\"");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("3"), std::string::npos);  // I, SI, MESI
+}
+
+TEST(Cli, SqlErrorsAreReported) {
+  RunResult r = run("sql \"select nope from Missing\"");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, InvariantsPass) {
+  RunResult r = run("invariants");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("0 violated"), std::string::npos);
+}
+
+TEST(Cli, DeadlockFindsFigure4AndExitsNonzero) {
+  RunResult r = run("deadlock V5");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cycle"), std::string::npos);
+  EXPECT_NE(r.output.find("VC4"), std::string::npos);
+}
+
+TEST(Cli, DeadlockCleanAssignmentExitsZero) {
+  RunResult r = run("deadlock V5fix");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("deadlock-free"), std::string::npos);
+}
+
+TEST(Cli, MapVerifies) {
+  RunResult r = run("map");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("ED reconstructed: 1"), std::string::npos);
+}
+
+TEST(Cli, CodegenEmitsFunction) {
+  RunResult r = run("codegen Response_bdir");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("void Response_bdir_step"), std::string::npos);
+  RunResult casez = run("codegen Response_bdir --casez");
+  EXPECT_NE(casez.output.find("casez"), std::string::npos);
+}
+
+TEST(Cli, SimFig4DeadlocksUnderV5) {
+  RunResult r = run("sim V5 --fig4");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("DEADLOCK"), std::string::npos);
+}
+
+TEST(Cli, SimRandomHealthyUnderFix) {
+  RunResult r = run("sim V5fix --quads 3 --txns 30 --seed 5");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("completed=1"), std::string::npos);
+  EXPECT_NE(r.output.find("errors=0"), std::string::npos);
+}
+
+TEST(Cli, ReachSmallConfigVerified) {
+  RunResult r = run("reach V5fix --quads 2 --addrs 1 --ops 1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("complete=1"), std::string::npos);
+  EXPECT_NE(r.output.find("deadlock_states=0"), std::string::npos);
+}
+
+TEST(Cli, LintReportsPinnedAdvisories) {
+  RunResult r = run("lint");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("8 finding(s)"), std::string::npos);
+  EXPECT_NE(r.output.find("Dfdback"), std::string::npos);
+}
+
+TEST(Cli, FlowReportsDebugged) {
+  RunResult r = run("flow");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("debugged under V5fix: 1"), std::string::npos);
+  EXPECT_NE(r.output.find("hardware mapping:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+#include "mapping/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccsql {
+namespace {
+
+Table impl_table() {
+  Table t(make_schema({{"inmsg", ColumnKind::kInput},
+                       {"dirst", ColumnKind::kInput},
+                       {"remmsg", ColumnKind::kOutput}}));
+  t.append({V("readex"), V("SI"), V("sinv")});
+  t.append({V("readex"), V("MESI"), V("sinv")});
+  t.append({V("read"), null_value(), null_value()});  // don't-care / no-op
+  return t;
+}
+
+TEST(Codegen, CxxEmitsConditionPerRow) {
+  std::string code =
+      mapping::generate_code(impl_table(), "Request_remmsg");
+  EXPECT_NE(code.find("void Request_remmsg_step"), std::string::npos);
+  EXPECT_NE(code.find("in.inmsg == kReadex && in.dirst == kSI"),
+            std::string::npos);
+  EXPECT_NE(code.find("out.remmsg = kSinv;"), std::string::npos);
+  // Don't-care input omitted from the condition; no-op output omitted.
+  EXPECT_NE(code.find("if (in.inmsg == kRead) {"), std::string::npos);
+  // Fallthrough handles illegal inputs.
+  EXPECT_NE(code.find("out.error = true"), std::string::npos);
+}
+
+TEST(Codegen, MangleHandlesProtocolNames) {
+  Table t(make_schema({{"bdirst", ColumnKind::kInput},
+                       {"nxt", ColumnKind::kOutput}}));
+  t.append({V("Busy-rx-sd"), V("Busy-rx-s")});
+  std::string code = mapping::generate_code(t, "U");
+  EXPECT_NE(code.find("kBusyRxSd"), std::string::npos);
+  EXPECT_NE(code.find("kBusyRxS;"), std::string::npos);
+}
+
+TEST(Codegen, CasezDialect) {
+  std::string code = mapping::generate_code(impl_table(), "Request_remmsg",
+                                            mapping::CodeDialect::kCasez);
+  EXPECT_NE(code.find("casez ({inmsg, dirst})"), std::string::npos);
+  EXPECT_NE(code.find("{kReadex, kSI}"), std::string::npos);
+  EXPECT_NE(code.find("remmsg <= kSinv;"), std::string::npos);
+  EXPECT_NE(code.find("{kRead, ANY}"), std::string::npos);
+  EXPECT_NE(code.find("default: protocol_error"), std::string::npos);
+}
+
+TEST(Codegen, ValueDeclarationsCoverAllValues) {
+  std::string decls =
+      mapping::generate_value_declarations(impl_table(), "Request_remmsg");
+  EXPECT_NE(decls.find("kReadex"), std::string::npos);
+  EXPECT_NE(decls.find("kSI"), std::string::npos);
+  EXPECT_NE(decls.find("kSinv"), std::string::npos);
+  EXPECT_NE(decls.find("enum Request_remmsg_values"), std::string::npos);
+}
+
+TEST(Codegen, EmptyTableStillWellFormed) {
+  Table t(make_schema({{"a", ColumnKind::kInput},
+                       {"b", ColumnKind::kOutput}}));
+  std::string code = mapping::generate_code(t, "Empty");
+  EXPECT_NE(code.find("void Empty_step"), std::string::npos);
+  EXPECT_NE(code.find("out.error = true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccsql

@@ -1,0 +1,77 @@
+#include "protocol/channel_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccsql {
+namespace {
+
+TEST(ChannelAssignment, AssignAndLookup) {
+  ChannelAssignment v("V");
+  v.assign("readex", "local", "home", "VC0");
+  v.assign("sinv", "home", "remote", "VC1");
+  EXPECT_EQ(v.name(), "V");
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.vc_for(V("readex"), V("local"), V("home")), V("VC0"));
+  EXPECT_EQ(v.vc_for(V("sinv"), V("home"), V("remote")), V("VC1"));
+  // Same message on a different (s, d) pair is a different triple.
+  EXPECT_EQ(v.vc_for(V("readex"), V("home"), V("home")), std::nullopt);
+  EXPECT_EQ(v.vc_for(V("zzz"), V("local"), V("home")), std::nullopt);
+}
+
+TEST(ChannelAssignment, ReassignReplaces) {
+  ChannelAssignment v("V");
+  v.assign("mread", "home", "home", "VC0");
+  v.assign("mread", "home", "home", "VC4");  // paper's iteration
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.vc_for(V("mread"), V("home"), V("home")), V("VC4"));
+}
+
+TEST(ChannelAssignment, UnassignModelsDedicatedPath) {
+  ChannelAssignment v("V");
+  v.assign("mread", "home", "home", "VC4");
+  v.assign("wb", "home", "home", "VC4");
+  v.unassign("mread", "home", "home");
+  EXPECT_EQ(v.vc_for(V("mread"), V("home"), V("home")), std::nullopt);
+  EXPECT_EQ(v.vc_for(V("wb"), V("home"), V("home")), V("VC4"));
+  EXPECT_EQ(v.size(), 1u);
+  // Unassigning a missing triple is a no-op.
+  v.unassign("zzz", "home", "home");
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(ChannelAssignment, UnassignKeepsIndexConsistent) {
+  ChannelAssignment v("V");
+  v.assign("a", "local", "home", "VC0");
+  v.assign("b", "local", "home", "VC1");
+  v.assign("c", "local", "home", "VC2");
+  v.unassign("a", "local", "home");
+  EXPECT_EQ(v.vc_for(V("b"), V("local"), V("home")), V("VC1"));
+  EXPECT_EQ(v.vc_for(V("c"), V("local"), V("home")), V("VC2"));
+  v.assign("b", "local", "home", "VC3");
+  EXPECT_EQ(v.vc_for(V("b"), V("local"), V("home")), V("VC3"));
+}
+
+TEST(ChannelAssignment, ChannelsInFirstAssignmentOrder) {
+  ChannelAssignment v("V");
+  v.assign("a", "local", "home", "VC2");
+  v.assign("b", "local", "home", "VC0");
+  v.assign("c", "home", "remote", "VC2");
+  auto chans = v.channels();
+  ASSERT_EQ(chans.size(), 2u);
+  EXPECT_EQ(chans[0], V("VC2"));
+  EXPECT_EQ(chans[1], V("VC0"));
+}
+
+TEST(ChannelAssignment, ToTableMatchesPaperColumns) {
+  ChannelAssignment v("V");
+  v.assign("readex", "local", "home", "VC0");
+  Table t = v.to_table();
+  ASSERT_EQ(t.column_count(), 4u);
+  EXPECT_EQ(t.schema().column(0).name, "m");
+  EXPECT_EQ(t.schema().column(3).name, "v");
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.at(0, "v"), V("VC0"));
+}
+
+}  // namespace
+}  // namespace ccsql

@@ -1,0 +1,49 @@
+#include "relational/domain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccsql {
+namespace {
+
+TEST(Domain, FromTexts) {
+  Domain d("dirst", std::vector<std::string>{"I", "SI", "MESI"});
+  EXPECT_EQ(d.column(), "dirst");
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d.contains(V("SI")));
+  EXPECT_FALSE(d.contains(V("M")));
+  EXPECT_FALSE(d.contains(null_value()));
+}
+
+TEST(Domain, FromValues) {
+  Domain d("c", std::vector<Value>{V("a"), V("b")});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.contains(V("a")));
+}
+
+TEST(Domain, AddDeduplicates) {
+  Domain d("c", std::vector<std::string>{"a"});
+  d.add(V("a"));
+  d.add(V("b"));
+  d.add(V("b"));
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Domain, WithNullPrependsOnce) {
+  Domain d("c", std::vector<std::string>{"a", "b"});
+  Domain dn = d.with_null();
+  EXPECT_EQ(dn.size(), 3u);
+  EXPECT_TRUE(dn.values()[0].is_null());
+  // Idempotent.
+  Domain dn2 = dn.with_null();
+  EXPECT_EQ(dn2.size(), 3u);
+  // Original unchanged.
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Domain, ConstructionDeduplicates) {
+  Domain d("c", std::vector<std::string>{"a", "b", "a"});
+  EXPECT_EQ(d.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ccsql

@@ -1,0 +1,64 @@
+#include "relational/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "relational/error.hpp"
+
+namespace ccsql {
+namespace {
+
+Table sample() {
+  Table t(Schema::of({"inmsg", "dirst"}));
+  t.append({V("readex"), V("SI")});
+  t.append({V("wb"), null_value()});
+  return t;
+}
+
+TEST(Format, AsciiContainsHeaderAndCells) {
+  std::string s = to_ascii(sample());
+  EXPECT_NE(s.find("inmsg"), std::string::npos);
+  EXPECT_NE(s.find("dirst"), std::string::npos);
+  EXPECT_NE(s.find("readex"), std::string::npos);
+  // NULL renders as '-'.
+  EXPECT_NE(s.find("wb"), std::string::npos);
+}
+
+TEST(Format, AsciiTruncation) {
+  Table t(Schema::of({"a"}));
+  for (int i = 0; i < 10; ++i) t.append({V(std::to_string(i))});
+  std::string s = to_ascii(t, 3);
+  EXPECT_NE(s.find("7 more rows"), std::string::npos);
+}
+
+TEST(Format, StreamOperator) {
+  std::ostringstream os;
+  os << sample();
+  EXPECT_NE(os.str().find("readex"), std::string::npos);
+}
+
+TEST(Format, CsvRoundTrip) {
+  Table t = sample();
+  Table back = from_csv(to_csv(t));
+  ASSERT_EQ(back.row_count(), t.row_count());
+  ASSERT_EQ(back.column_count(), t.column_count());
+  EXPECT_TRUE(back.set_equal(t.with_schema(back.schema_ptr())));
+  EXPECT_TRUE(back.at(1, 1).is_null());
+}
+
+TEST(Format, CsvHeaderOnlyForEmptyTable) {
+  Table t(Schema::of({"x", "y"}));
+  EXPECT_EQ(to_csv(t), "x,y\n");
+  Table back = from_csv("x,y\n");
+  EXPECT_EQ(back.row_count(), 0u);
+  EXPECT_EQ(back.column_count(), 2u);
+}
+
+TEST(Format, FromCsvRejectsBadInput) {
+  EXPECT_THROW(from_csv(""), ParseError);
+  EXPECT_THROW(from_csv("a,b\n1\n"), ParseError);
+}
+
+}  // namespace
+}  // namespace ccsql

@@ -1,0 +1,155 @@
+#include "relational/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relational/error.hpp"
+#include "relational/lexer.hpp"
+
+namespace ccsql {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndIdents) {
+  auto toks = lex("inmsg = \"data\" and dirst != Busy-d ? x : y");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "inmsg");
+  EXPECT_EQ(toks[1].kind, TokenKind::kEq);
+  EXPECT_EQ(toks[2].kind, TokenKind::kString);
+  EXPECT_EQ(toks[2].text, "data");
+  EXPECT_EQ(toks[3].text, "and");
+  EXPECT_EQ(toks[5].kind, TokenKind::kNe);
+  EXPECT_EQ(toks[6].text, "Busy-d");  // dash kept inside identifier
+  EXPECT_EQ(toks[7].kind, TokenKind::kQuestion);
+  EXPECT_EQ(toks[9].kind, TokenKind::kColon);
+}
+
+TEST(Lexer, BracketsCommaStar) {
+  auto toks = lex("[ ] , * ( )");
+  EXPECT_EQ(toks[0].kind, TokenKind::kLBracket);
+  EXPECT_EQ(toks[1].kind, TokenKind::kRBracket);
+  EXPECT_EQ(toks[2].kind, TokenKind::kComma);
+  EXPECT_EQ(toks[3].kind, TokenKind::kStar);
+  EXPECT_EQ(toks[4].kind, TokenKind::kLParen);
+  EXPECT_EQ(toks[5].kind, TokenKind::kRParen);
+}
+
+TEST(Lexer, ErrorsOnBadInput) {
+  EXPECT_THROW(lex("a = \"unterminated"), ParseError);
+  EXPECT_THROW(lex("a ! b"), ParseError);
+  EXPECT_THROW(lex("a # b"), ParseError);
+  EXPECT_THROW(lex("a < b"), ParseError);
+}
+
+TEST(Lexer, TrailingDashIsNotIdentifier) {
+  // "x-" : dash not followed by ident char must not be swallowed.
+  EXPECT_THROW(lex("x- = y"), ParseError);
+}
+
+TEST(ParseExpr, RejectsMalformed) {
+  EXPECT_THROW(parse_expr(""), ParseError);
+  EXPECT_THROW(parse_expr("inmsg ="), ParseError);
+  EXPECT_THROW(parse_expr("inmsg = a extra"), ParseError);
+  EXPECT_THROW(parse_expr("inmsg = a ? x = y"), ParseError);  // missing ':'
+  EXPECT_THROW(parse_expr("(inmsg = a"), ParseError);
+  EXPECT_THROW(parse_expr("inmsg in ()"), ParseError);
+  EXPECT_THROW(parse_expr("and inmsg = a"), ParseError);
+}
+
+TEST(ParseExpr, KeywordsAreCaseInsensitive) {
+  Expr e = parse_expr("inmsg = a AND dirst = b OR NOT dirpv = c");
+  // (a and b) or (not c)
+  EXPECT_EQ(e.op(), Expr::Op::kOr);
+  ASSERT_EQ(e.children().size(), 2u);
+  EXPECT_EQ(e.children()[0].op(), Expr::Op::kAnd);
+  EXPECT_EQ(e.children()[1].op(), Expr::Op::kNot);
+}
+
+TEST(ParseExpr, TernaryIsRightAssociative) {
+  Expr e = parse_expr("a = 1 ? b = 2 : c = 3 ? d = 4 : e = 5");
+  ASSERT_EQ(e.op(), Expr::Op::kTernary);
+  EXPECT_EQ(e.children()[2].op(), Expr::Op::kTernary);
+}
+
+TEST(ParseSelect, Basic) {
+  SelectStmt s = parse_select("Select dirst, dirpv from D where dirst = I");
+  EXPECT_FALSE(s.distinct);
+  EXPECT_FALSE(s.star);
+  EXPECT_EQ(s.columns, (std::vector<std::string>{"dirst", "dirpv"}));
+  EXPECT_EQ(s.table, "D");
+  ASSERT_TRUE(s.where.has_value());
+  EXPECT_EQ(s.where->op(), Expr::Op::kCompare);
+}
+
+TEST(ParseSelect, DistinctStarNoWhere) {
+  SelectStmt s = parse_select("select distinct * from ED");
+  EXPECT_TRUE(s.distinct);
+  EXPECT_TRUE(s.star);
+  EXPECT_EQ(s.table, "ED");
+  EXPECT_FALSE(s.where.has_value());
+}
+
+TEST(ParseSelect, PaperImplementationTableQuery) {
+  // From section 5 of the paper.
+  SelectStmt s = parse_select(
+      "Select distinct ED.Inputs, remmsg from ED "
+      "Where (isrequest(ED.Inputs.inmsg))");
+  EXPECT_TRUE(s.distinct);
+  EXPECT_EQ(s.columns,
+            (std::vector<std::string>{"ED.Inputs", "remmsg"}));
+  ASSERT_TRUE(s.where.has_value());
+  EXPECT_EQ(s.where->op(), Expr::Op::kCall);
+}
+
+TEST(ParseSelect, RejectsMalformed) {
+  EXPECT_THROW(parse_select("select from D"), ParseError);
+  EXPECT_THROW(parse_select("select a b from D"), ParseError);
+  EXPECT_THROW(parse_select("select a from"), ParseError);
+  EXPECT_THROW(parse_select("select a from D where"), ParseError);
+}
+
+TEST(ParseInvariant, SingleBracketedEmptiness) {
+  auto checks = parse_invariant(
+      "[Select dirst, dirpv from D where dirst = \"MESI\" and "
+      "not dirpv = \"one\"] = empty");
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_EQ(checks[0].table, "D");
+}
+
+TEST(ParseInvariant, ConjunctionOfChecks) {
+  // Shape of the paper's serialization invariant (section 4.3).
+  auto checks = parse_invariant(
+      "[Select inmsg, bdirst, locmsg from D where isrequest(inmsg) and "
+      "not (bdirst = \"I\" and locmsg = \"retry\")] = empty and "
+      "[Select inmsg from D where not inmsg = \"compl\"] = empty");
+  ASSERT_EQ(checks.size(), 2u);
+  EXPECT_EQ(checks[0].columns.size(), 3u);
+  EXPECT_EQ(checks[1].columns.size(), 1u);
+}
+
+TEST(ParseInvariant, BareSelectAccepted) {
+  auto checks = parse_invariant("select a from T");
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_EQ(checks[0].table, "T");
+}
+
+TEST(ParseInvariant, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_invariant("[select a from T] = empty garbage"),
+               ParseError);
+  EXPECT_THROW(parse_invariant("[select a from T] = full"), ParseError);
+}
+
+TEST(SelectStmt, ToStringRoundTrips) {
+  const char* texts[] = {
+      "select a, b from T where a = x",
+      "select distinct * from T",
+      "select a from T",
+  };
+  for (const char* t : texts) {
+    SelectStmt s = parse_select(t);
+    SelectStmt s2 = parse_select(s.to_string());
+    EXPECT_EQ(s.to_string(), s2.to_string()) << t;
+  }
+}
+
+}  // namespace
+}  // namespace ccsql

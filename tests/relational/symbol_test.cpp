@@ -1,0 +1,92 @@
+#include "relational/symbol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace ccsql {
+namespace {
+
+TEST(Symbol, DefaultIsNull) {
+  Symbol s;
+  EXPECT_TRUE(s.is_null());
+  EXPECT_EQ(s.id(), 0u);
+  EXPECT_EQ(s.str(), "NULL");
+}
+
+TEST(Symbol, InternIsIdempotent) {
+  Symbol a = Symbol::intern("readex");
+  Symbol b = Symbol::intern("readex");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.str(), "readex");
+  EXPECT_FALSE(a.is_null());
+}
+
+TEST(Symbol, DistinctTextsDistinctSymbols) {
+  EXPECT_NE(Symbol::intern("sinv"), Symbol::intern("mread"));
+}
+
+TEST(Symbol, EmptyAndNullTextInternToNull) {
+  EXPECT_TRUE(Symbol::intern("").is_null());
+  EXPECT_TRUE(Symbol::intern("NULL").is_null());
+}
+
+TEST(Symbol, LookupFindsInternedOnly) {
+  Symbol a = Symbol::intern("lookup-target");
+  EXPECT_EQ(Symbol::lookup("lookup-target"), a);
+  EXPECT_TRUE(Symbol::lookup("never-interned-xyzzy").is_null());
+}
+
+TEST(Symbol, StrViewSurvivesFurtherInterning) {
+  Symbol a = Symbol::intern("stable-string");
+  std::string_view v = a.str();
+  for (int i = 0; i < 2000; ++i) {
+    Symbol::intern("churn-" + std::to_string(i));
+  }
+  EXPECT_EQ(v, "stable-string");
+  EXPECT_EQ(a.str(), "stable-string");
+}
+
+TEST(Symbol, HashUsableInUnorderedSet) {
+  std::unordered_set<Symbol> set;
+  set.insert(Symbol::intern("a"));
+  set.insert(Symbol::intern("b"));
+  set.insert(Symbol::intern("a"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Symbol, OrderingIsByInterningId) {
+  Symbol a = Symbol::intern("order-first");
+  Symbol b = Symbol::intern("order-second");
+  EXPECT_LT(a, b);
+  EXPECT_LT(Symbol{}, a);  // NULL is id 0, smallest
+}
+
+TEST(Symbol, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Symbol>> results(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &results] {
+      results[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        results[t].push_back(Symbol::intern("conc-" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], results[0]);
+  }
+  for (int i = 0; i < kPerThread; ++i) {
+    EXPECT_EQ(results[0][i].str(), "conc-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace ccsql

@@ -1,0 +1,242 @@
+#include "relational/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relational/error.hpp"
+
+namespace ccsql {
+namespace {
+
+Table small() {
+  Table t(Schema::of({"m", "s"}));
+  t.append({V("readex"), V("I")});
+  t.append({V("readex"), V("SI")});
+  t.append({V("wb"), V("MESI")});
+  return t;
+}
+
+TEST(Table, AppendAndAccess) {
+  Table t = small();
+  EXPECT_EQ(t.row_count(), 3u);
+  EXPECT_EQ(t.column_count(), 2u);
+  EXPECT_EQ(t.at(0, 0), V("readex"));
+  EXPECT_EQ(t.at(2, "s"), V("MESI"));
+  RowView r = t.row(1);
+  EXPECT_EQ(r[1], V("SI"));
+}
+
+TEST(Table, AppendArityChecked) {
+  Table t = small();
+  EXPECT_THROW(t.append({V("x")}), SchemaError);
+}
+
+TEST(Table, AppendTextsInternsAndNullsEmpty) {
+  Table t(Schema::of({"a", "b"}));
+  t.append_texts({"x", ""});
+  EXPECT_EQ(t.at(0, 0), V("x"));
+  EXPECT_TRUE(t.at(0, 1).is_null());
+}
+
+TEST(Table, UnitHasOneEmptyRow) {
+  Table u = Table::unit();
+  EXPECT_EQ(u.row_count(), 1u);
+  EXPECT_EQ(u.column_count(), 0u);
+}
+
+TEST(Table, SelectFilters) {
+  Table t = small();
+  Table sel = t.select([](RowView r) { return r[0] == V("readex"); });
+  EXPECT_EQ(sel.row_count(), 2u);
+  EXPECT_EQ(sel.at(1, 1), V("SI"));
+}
+
+TEST(Table, ProjectReordersAndDeduplicates) {
+  Table t = small();
+  Table p = t.project({"m"});
+  EXPECT_EQ(p.column_count(), 1u);
+  EXPECT_EQ(p.row_count(), 2u);  // readex deduplicated
+  Table pk = t.project({"m"}, /*distinct=*/false);
+  EXPECT_EQ(pk.row_count(), 3u);
+  Table sw = t.project({"s", "m"});
+  EXPECT_EQ(sw.at(0, 0), V("I"));
+  EXPECT_EQ(sw.at(0, 1), V("readex"));
+}
+
+TEST(Table, DistinctKeepsFirstOccurrence) {
+  Table t(Schema::of({"a"}));
+  t.append({V("x")});
+  t.append({V("y")});
+  t.append({V("x")});
+  Table d = t.distinct();
+  EXPECT_EQ(d.row_count(), 2u);
+  EXPECT_EQ(d.at(0, 0), V("x"));
+  EXPECT_EQ(d.at(1, 0), V("y"));
+}
+
+TEST(Table, CrossProduct) {
+  Table a(Schema::of({"x"}));
+  a.append({V("1")});
+  a.append({V("2")});
+  Table b(Schema::of({"y", "z"}));
+  b.append({V("p"), V("q")});
+  b.append({V("r"), V("s")});
+  b.append({V("t"), V("u")});
+  Table c = Table::cross(a, b);
+  EXPECT_EQ(c.row_count(), 6u);
+  EXPECT_EQ(c.column_count(), 3u);
+  EXPECT_EQ(c.at(0, 0), V("1"));
+  EXPECT_EQ(c.at(0, 2), V("q"));
+  EXPECT_EQ(c.at(5, 0), V("2"));
+  EXPECT_EQ(c.at(5, 1), V("t"));
+}
+
+TEST(Table, CrossWithUnitIsIdentity) {
+  Table t = small();
+  Table l = Table::cross(Table::unit(), t);
+  Table r = Table::cross(t, Table::unit());
+  EXPECT_TRUE(l.set_equal(t));
+  EXPECT_TRUE(r.set_equal(t));
+}
+
+TEST(Table, CrossRejectsDuplicateNames) {
+  Table a(Schema::of({"x"}));
+  Table b(Schema::of({"x"}));
+  EXPECT_THROW(Table::cross(a, b), SchemaError);
+}
+
+TEST(Table, UnionAllAndDistinct) {
+  Table t = small();
+  Table u = Table::union_all(t, t);
+  EXPECT_EQ(u.row_count(), 6u);
+  Table ud = Table::union_distinct(t, t);
+  EXPECT_EQ(ud.row_count(), 3u);
+}
+
+TEST(Table, UnionRequiresSameNames) {
+  Table a(Schema::of({"x"}));
+  Table b(Schema::of({"y"}));
+  EXPECT_THROW(Table::union_all(a, b), SchemaError);
+}
+
+TEST(Table, Difference) {
+  Table t = small();
+  Table b(t.schema_ptr());
+  b.append({V("readex"), V("SI")});
+  Table d = Table::difference(t, b);
+  EXPECT_EQ(d.row_count(), 2u);
+  EXPECT_FALSE(d.contains(b.row(0)));
+}
+
+TEST(Table, RenamedKeepsData) {
+  Table t = small().renamed("m", "inmsg");
+  EXPECT_TRUE(t.schema().has("inmsg"));
+  EXPECT_EQ(t.at(0, "inmsg"), V("readex"));
+}
+
+TEST(Table, ContainsAndContainsAll) {
+  Table t = small();
+  Table sub(t.schema_ptr());
+  sub.append({V("wb"), V("MESI")});
+  EXPECT_TRUE(t.contains_all(sub));
+  EXPECT_FALSE(sub.contains_all(t));
+  std::vector<Value> row{V("readex"), V("I")};
+  EXPECT_TRUE(t.contains(RowView(row)));
+  row[1] = V("nope");
+  EXPECT_FALSE(t.contains(RowView(row)));
+}
+
+TEST(Table, SetEqualIgnoresOrderAndDuplicates) {
+  Table a = small();
+  Table b(a.schema_ptr());
+  b.append({V("wb"), V("MESI")});
+  b.append({V("readex"), V("SI")});
+  b.append({V("readex"), V("I")});
+  b.append({V("readex"), V("I")});
+  EXPECT_TRUE(a.set_equal(b));
+}
+
+TEST(Table, SortedIsCanonical) {
+  Table a = small();
+  Table b(a.schema_ptr());
+  b.append({V("wb"), V("MESI")});
+  b.append({V("readex"), V("I")});
+  b.append({V("readex"), V("SI")});
+  Table sa = a.sorted(), sb = b.sorted();
+  ASSERT_EQ(sa.row_count(), sb.row_count());
+  for (std::size_t i = 0; i < sa.row_count(); ++i) {
+    RowView ra = sa.row(i), rb = sb.row(i);
+    EXPECT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin()));
+  }
+}
+
+TEST(Table, WithSchemaRealignsNames) {
+  Table t = small();
+  auto s2 = Schema::of({"m1", "s1"});
+  Table t2 = t.with_schema(s2);
+  EXPECT_EQ(t2.at(0, "m1"), V("readex"));
+  EXPECT_THROW(t.with_schema(Schema::of({"one"})), SchemaError);
+}
+
+TEST(Table, ZeroColumnSelect) {
+  Table u = Table::unit();
+  Table kept = u.select([](RowView) { return true; });
+  EXPECT_EQ(kept.row_count(), 1u);
+  Table dropped = u.select([](RowView) { return false; });
+  EXPECT_EQ(dropped.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ccsql
+
+namespace ccsql {
+namespace {
+
+TEST(Table, NaturalJoinOnCommonColumns) {
+  Table a(Schema::of({"k", "x"}));
+  a.append({V("1"), V("a")});
+  a.append({V("2"), V("b")});
+  a.append({V("3"), V("c")});
+  Table b(Schema::of({"k", "y"}));
+  b.append({V("1"), V("p")});
+  b.append({V("2"), V("q")});
+  b.append({V("2"), V("r")});
+  Table j = Table::natural_join(a, b);
+  EXPECT_EQ(j.column_count(), 3u);
+  EXPECT_EQ(j.schema().column(2).name, "y");
+  EXPECT_EQ(j.row_count(), 3u);  // 1 match for k=1, 2 for k=2, 0 for k=3
+  Table k2 = j.select([](RowView r) { return r[0] == V("2"); });
+  EXPECT_EQ(k2.row_count(), 2u);
+}
+
+TEST(Table, NaturalJoinMultiKey) {
+  Table a(Schema::of({"k1", "k2", "x"}));
+  a.append({V("1"), V("u"), V("a")});
+  a.append({V("1"), V("v"), V("b")});
+  Table b(Schema::of({"k1", "k2", "y"}));
+  b.append({V("1"), V("u"), V("p")});
+  Table j = Table::natural_join(a, b);
+  ASSERT_EQ(j.row_count(), 1u);
+  EXPECT_EQ(j.at(0, "x"), V("a"));
+  EXPECT_EQ(j.at(0, "y"), V("p"));
+}
+
+TEST(Table, NaturalJoinRequiresCommonColumn) {
+  Table a(Schema::of({"x"}));
+  Table b(Schema::of({"y"}));
+  EXPECT_THROW(Table::natural_join(a, b), SchemaError);
+}
+
+TEST(Table, NaturalJoinAllColumnsCommonActsAsIntersection) {
+  Table a(Schema::of({"x"}));
+  a.append({V("1")});
+  a.append({V("2")});
+  Table b(Schema::of({"x"}));
+  b.append({V("2")});
+  b.append({V("3")});
+  Table j = Table::natural_join(a, b);
+  EXPECT_EQ(j.row_count(), 1u);
+  EXPECT_EQ(j.at(0, 0), V("2"));
+}
+
+}  // namespace
+}  // namespace ccsql

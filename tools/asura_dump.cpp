@@ -1,0 +1,36 @@
+// Quick diagnostic: build ASURA, print per-controller table sizes and run
+// the invariant suite.
+#include <iostream>
+#include "protocol/asura/asura.hpp"
+#include "relational/format.hpp"
+
+int main() {
+  using namespace ccsql;
+  auto spec = asura::make_asura();
+  const Catalog& db = spec->database();
+  for (const auto& c : spec->controllers()) {
+    const Table& t = db.get(c->name());
+    std::cout << c->name() << ": " << t.row_count() << " rows x "
+              << t.column_count() << " cols\n";
+  }
+  std::cout << "messages: " << spec->messages().size() << "\n";
+  std::cout << "invariants: " << spec->invariants().size() << "\n";
+  int fail = 0;
+  for (const auto& inv : spec->invariants()) {
+    bool ok = false;
+    try {
+      ok = db.check_empty(inv.sql);
+    } catch (const std::exception& e) {
+      std::cout << "ERROR " << inv.name << ": " << e.what() << "\n";
+      ++fail;
+      continue;
+    }
+    if (!ok) {
+      std::cout << "VIOLATED: " << inv.name << "\n";
+      ++fail;
+    }
+  }
+  std::cout << (fail ? "FAILURES: " : "all invariants hold: ")
+            << (fail ? std::to_string(fail) : "") << "\n";
+  return fail != 0;
+}

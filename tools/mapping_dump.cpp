@@ -1,0 +1,19 @@
+// Diagnostic: run the section 5 mapping flow end to end.
+#include <iostream>
+#include "mapping/asura_map.hpp"
+#include "protocol/asura/asura.hpp"
+
+int main() {
+  using namespace ccsql;
+  auto spec = asura::make_asura();
+  auto report = mapping::verify_directory_mapping(*spec);
+  std::cout << "ED: " << report.ed_rows << " rows x " << report.ed_cols
+            << " cols\n";
+  for (const auto& [name, rows] : report.table_rows) {
+    std::cout << "  " << name << ": " << rows << " rows\n";
+  }
+  std::cout << "ed_reconstructed=" << report.ed_reconstructed
+            << " base_recovered=" << report.base_recovered
+            << " contains_debugged=" << report.contains_debugged << "\n";
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+// Diagnostic: exhaustive exploration of small configurations.
+#include <cstdio>
+#include "checks/reach.hpp"
+#include "protocol/asura/asura.hpp"
+int main(int argc, char** argv) {
+  using namespace ccsql;
+  auto spec = asura::make_asura();
+  ReachConfig cfg;
+  cfg.n_quads = argc > 1 ? atoi(argv[1]) : 2;
+  cfg.n_addrs = argc > 2 ? atoi(argv[2]) : 1;
+  cfg.ops_per_node = argc > 3 ? atoi(argv[3]) : 2;
+  for (const char* a : {asura::kAssignV5, asura::kAssignV5Fix}) {
+    ReachResult r = explore(*spec, spec->assignment(a), cfg);
+    std::printf("%s: states=%llu transitions=%llu complete=%d deadlocks=%llu "
+                "violations=%zu %.2fs\n",
+                a, (unsigned long long)r.states,
+                (unsigned long long)r.transitions, r.complete,
+                (unsigned long long)r.deadlock_states, r.violations.size(),
+                r.seconds);
+    for (auto& v : r.violations) std::printf("  %s\n", v.c_str());
+    if (r.deadlock_states) std::printf("%s", r.deadlock_example.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include <iostream>
+#include "protocol/asura/asura.hpp"
+#include "sim/machine.hpp"
+using namespace ccsql;
+using namespace ccsql::sim;
+
+int main(int argc, char** argv) {
+  auto spec = asura::make_asura();
+  int txns = argc > 1 ? atoi(argv[1]) : 4;
+  unsigned seed0 = argc > 2 ? (unsigned)atoi(argv[2]) : 1;
+  bool trace = argc > 3;
+  for (unsigned seed = seed0; seed < seed0 + (trace ? 1u : 400u); ++seed) {
+    SimConfig cfg;
+    cfg.n_quads = 3;
+    cfg.n_addrs = 2;
+    cfg.channel_capacity = 4;
+    cfg.transactions_per_node = txns;
+    cfg.seed = seed;
+    cfg.trace = trace;
+    Machine m(*spec, spec->assignment(asura::kAssignV5Fix), cfg);
+    m.set_memory_latency(2);
+    m.enable_random_workload();
+    SimResult r = m.run();
+    if (!r.errors.empty() || !r.completed) {
+      std::cout << "seed " << seed << ": completed=" << r.completed
+                << " steps=" << r.steps << "\n";
+      for (auto& e : r.errors) std::cout << "  " << e << "\n";
+      if (!trace) break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Broad randomized validation sweep across topologies / capacities / seeds.
+#include <iostream>
+#include "protocol/asura/asura.hpp"
+#include "sim/machine.hpp"
+using namespace ccsql;
+using namespace ccsql::sim;
+
+int main() {
+  auto spec = asura::make_asura();
+  int runs = 0, bad = 0, deadlocks = 0;
+  for (int quads : {2, 3, 4}) {
+    for (int cap : {1, 2, 4}) {
+      for (unsigned seed = 1; seed <= 40; ++seed) {
+        SimConfig cfg;
+        cfg.n_quads = quads;
+        cfg.n_addrs = quads * 2;
+        cfg.channel_capacity = cap;
+        cfg.transactions_per_node = 60;
+        cfg.seed = seed;
+        Machine m(*spec, spec->assignment(asura::kAssignV5Fix), cfg);
+        m.set_memory_latency(seed % 5);
+        m.enable_random_workload();
+        SimResult r = m.run();
+        ++runs;
+        if (r.deadlocked) ++deadlocks;
+        if (!r.completed || !r.errors.empty()) {
+          ++bad;
+          std::cout << "BAD quads=" << quads << " cap=" << cap << " seed="
+                    << seed << " completed=" << r.completed << " deadlocked="
+                    << r.deadlocked << " steps=" << r.steps << "\n";
+          for (auto& e : r.errors) std::cout << "  " << e << "\n";
+          if (bad > 5) return 1;
+        }
+      }
+    }
+  }
+  std::cout << runs << " runs, " << bad << " bad, " << deadlocks
+            << " deadlocks (V5fix must have none)\n";
+  return bad != 0;
+}

@@ -1,0 +1,21 @@
+// Diagnostic: run deadlock analysis on ASURA under all three assignments.
+#include <iostream>
+#include "checks/vcg.hpp"
+#include "protocol/asura/asura.hpp"
+
+int main() {
+  using namespace ccsql;
+  auto spec = asura::make_asura();
+  const Catalog& db = spec->database();
+  std::vector<ControllerTableRef> tables;
+  for (const auto& c : spec->controllers()) {
+    tables.push_back(ControllerTableRef::from_spec(*c, db.get(c->name())));
+  }
+  for (const char* a : {asura::kAssignV4, asura::kAssignV5,
+                        asura::kAssignV5Fix}) {
+    std::cout << "=== assignment " << a << " ===\n";
+    DeadlockAnalysis analysis(tables, spec->assignment(a));
+    std::cout << analysis.report() << "\n";
+  }
+  return 0;
+}
