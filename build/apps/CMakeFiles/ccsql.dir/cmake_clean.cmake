@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsql.dir/ccsql_cli.cpp.o"
+  "CMakeFiles/ccsql.dir/ccsql_cli.cpp.o.d"
+  "ccsql"
+  "ccsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

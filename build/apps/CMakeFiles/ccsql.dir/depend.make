@@ -1,0 +1,2 @@
+# Empty dependencies file for ccsql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reach.dir/bench_reach.cpp.o"
+  "CMakeFiles/bench_reach.dir/bench_reach.cpp.o.d"
+  "bench_reach"
+  "bench_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

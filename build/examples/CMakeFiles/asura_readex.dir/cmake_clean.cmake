@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asura_readex.dir/asura_readex.cpp.o"
+  "CMakeFiles/asura_readex.dir/asura_readex.cpp.o.d"
+  "asura_readex"
+  "asura_readex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asura_readex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

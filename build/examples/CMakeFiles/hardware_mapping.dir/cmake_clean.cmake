@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_mapping.dir/hardware_mapping.cpp.o"
+  "CMakeFiles/hardware_mapping.dir/hardware_mapping.cpp.o.d"
+  "hardware_mapping"
+  "hardware_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

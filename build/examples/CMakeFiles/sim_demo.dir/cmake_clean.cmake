@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_demo.dir/sim_demo.cpp.o"
+  "CMakeFiles/sim_demo.dir/sim_demo.cpp.o.d"
+  "sim_demo"
+  "sim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asura_dump.dir/__/tools/asura_dump.cpp.o"
+  "CMakeFiles/asura_dump.dir/__/tools/asura_dump.cpp.o.d"
+  "asura_dump"
+  "asura_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asura_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

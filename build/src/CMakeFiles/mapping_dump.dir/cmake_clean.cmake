@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_dump.dir/__/tools/mapping_dump.cpp.o"
+  "CMakeFiles/mapping_dump.dir/__/tools/mapping_dump.cpp.o.d"
+  "mapping_dump"
+  "mapping_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

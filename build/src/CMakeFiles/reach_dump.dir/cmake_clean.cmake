@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_dump.dir/__/tools/reach_dump.cpp.o"
+  "CMakeFiles/reach_dump.dir/__/tools/reach_dump.cpp.o.d"
+  "reach_dump"
+  "reach_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_debug.dir/__/tools/sim_debug.cpp.o"
+  "CMakeFiles/sim_debug.dir/__/tools/sim_debug.cpp.o.d"
+  "sim_debug"
+  "sim_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dump.dir/__/tools/sim_dump.cpp.o"
+  "CMakeFiles/sim_dump.dir/__/tools/sim_dump.cpp.o.d"
+  "sim_dump"
+  "sim_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sweep.dir/__/tools/sim_sweep.cpp.o"
+  "CMakeFiles/sim_sweep.dir/__/tools/sim_sweep.cpp.o.d"
+  "sim_sweep"
+  "sim_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcg_dump.dir/__/tools/vcg_dump.cpp.o"
+  "CMakeFiles/vcg_dump.dir/__/tools/vcg_dump.cpp.o.d"
+  "vcg_dump"
+  "vcg_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcg_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

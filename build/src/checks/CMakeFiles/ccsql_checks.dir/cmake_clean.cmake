@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsql_checks.dir/invariant.cpp.o"
+  "CMakeFiles/ccsql_checks.dir/invariant.cpp.o.d"
+  "CMakeFiles/ccsql_checks.dir/lint.cpp.o"
+  "CMakeFiles/ccsql_checks.dir/lint.cpp.o.d"
+  "CMakeFiles/ccsql_checks.dir/reach.cpp.o"
+  "CMakeFiles/ccsql_checks.dir/reach.cpp.o.d"
+  "CMakeFiles/ccsql_checks.dir/vcg.cpp.o"
+  "CMakeFiles/ccsql_checks.dir/vcg.cpp.o.d"
+  "libccsql_checks.a"
+  "libccsql_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsql_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

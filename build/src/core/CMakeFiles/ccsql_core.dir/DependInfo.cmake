@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/ccsql_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/ccsql_core.dir/flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/checks/CMakeFiles/ccsql_checks.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/ccsql_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccsql_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ccsql_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ccsql_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/ccsql_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

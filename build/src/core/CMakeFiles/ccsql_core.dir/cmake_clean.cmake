@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsql_core.dir/flow.cpp.o"
+  "CMakeFiles/ccsql_core.dir/flow.cpp.o.d"
+  "libccsql_core.a"
+  "libccsql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/asura_map.cpp" "src/mapping/CMakeFiles/ccsql_mapping.dir/asura_map.cpp.o" "gcc" "src/mapping/CMakeFiles/ccsql_mapping.dir/asura_map.cpp.o.d"
+  "/root/repo/src/mapping/codegen.cpp" "src/mapping/CMakeFiles/ccsql_mapping.dir/codegen.cpp.o" "gcc" "src/mapping/CMakeFiles/ccsql_mapping.dir/codegen.cpp.o.d"
+  "/root/repo/src/mapping/extend.cpp" "src/mapping/CMakeFiles/ccsql_mapping.dir/extend.cpp.o" "gcc" "src/mapping/CMakeFiles/ccsql_mapping.dir/extend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/ccsql_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ccsql_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/ccsql_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

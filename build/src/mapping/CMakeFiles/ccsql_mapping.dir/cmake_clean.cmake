@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsql_mapping.dir/asura_map.cpp.o"
+  "CMakeFiles/ccsql_mapping.dir/asura_map.cpp.o.d"
+  "CMakeFiles/ccsql_mapping.dir/codegen.cpp.o"
+  "CMakeFiles/ccsql_mapping.dir/codegen.cpp.o.d"
+  "CMakeFiles/ccsql_mapping.dir/extend.cpp.o"
+  "CMakeFiles/ccsql_mapping.dir/extend.cpp.o.d"
+  "libccsql_mapping.a"
+  "libccsql_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsql_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/asura/asura.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/asura.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/asura.cpp.o.d"
+  "/root/repo/src/protocol/asura/cache.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/cache.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/cache.cpp.o.d"
+  "/root/repo/src/protocol/asura/channels.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/channels.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/channels.cpp.o.d"
+  "/root/repo/src/protocol/asura/directory.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/directory.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/directory.cpp.o.d"
+  "/root/repo/src/protocol/asura/intc.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/intc.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/intc.cpp.o.d"
+  "/root/repo/src/protocol/asura/invariants.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/invariants.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/invariants.cpp.o.d"
+  "/root/repo/src/protocol/asura/io.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/io.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/io.cpp.o.d"
+  "/root/repo/src/protocol/asura/memory.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/memory.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/memory.cpp.o.d"
+  "/root/repo/src/protocol/asura/messages.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/messages.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/messages.cpp.o.d"
+  "/root/repo/src/protocol/asura/node.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/node.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/node.cpp.o.d"
+  "/root/repo/src/protocol/asura/rac.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/rac.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/rac.cpp.o.d"
+  "/root/repo/src/protocol/asura/rsnoop.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/rsnoop.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/asura/rsnoop.cpp.o.d"
+  "/root/repo/src/protocol/channel_assignment.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/channel_assignment.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/channel_assignment.cpp.o.d"
+  "/root/repo/src/protocol/controller_spec.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/controller_spec.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/controller_spec.cpp.o.d"
+  "/root/repo/src/protocol/message.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/message.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/message.cpp.o.d"
+  "/root/repo/src/protocol/protocol_spec.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/protocol_spec.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/protocol_spec.cpp.o.d"
+  "/root/repo/src/protocol/roles.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/roles.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/roles.cpp.o.d"
+  "/root/repo/src/protocol/snoopbus/snoopbus.cpp" "src/protocol/CMakeFiles/ccsql_protocol.dir/snoopbus/snoopbus.cpp.o" "gcc" "src/protocol/CMakeFiles/ccsql_protocol.dir/snoopbus/snoopbus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/ccsql_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/ccsql_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

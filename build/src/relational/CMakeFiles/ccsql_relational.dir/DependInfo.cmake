@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/domain.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/domain.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/domain.cpp.o.d"
+  "/root/repo/src/relational/expr.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/expr.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/expr.cpp.o.d"
+  "/root/repo/src/relational/format.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/format.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/format.cpp.o.d"
+  "/root/repo/src/relational/function_registry.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/function_registry.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/function_registry.cpp.o.d"
+  "/root/repo/src/relational/lexer.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/lexer.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/lexer.cpp.o.d"
+  "/root/repo/src/relational/parser.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/parser.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/parser.cpp.o.d"
+  "/root/repo/src/relational/query.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/query.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/query.cpp.o.d"
+  "/root/repo/src/relational/schema.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/schema.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/schema.cpp.o.d"
+  "/root/repo/src/relational/symbol.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/symbol.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/symbol.cpp.o.d"
+  "/root/repo/src/relational/table.cpp" "src/relational/CMakeFiles/ccsql_relational.dir/table.cpp.o" "gcc" "src/relational/CMakeFiles/ccsql_relational.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsql_relational.dir/domain.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/domain.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/expr.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/expr.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/format.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/format.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/function_registry.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/function_registry.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/lexer.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/lexer.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/parser.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/parser.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/query.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/query.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/schema.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/schema.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/symbol.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/symbol.cpp.o.d"
+  "CMakeFiles/ccsql_relational.dir/table.cpp.o"
+  "CMakeFiles/ccsql_relational.dir/table.cpp.o.d"
+  "libccsql_relational.a"
+  "libccsql_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsql_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

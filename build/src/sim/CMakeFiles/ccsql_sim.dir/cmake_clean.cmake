@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsql_sim.dir/machine.cpp.o"
+  "CMakeFiles/ccsql_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/ccsql_sim.dir/network.cpp.o"
+  "CMakeFiles/ccsql_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ccsql_sim.dir/table_index.cpp.o"
+  "CMakeFiles/ccsql_sim.dir/table_index.cpp.o.d"
+  "libccsql_sim.a"
+  "libccsql_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsql_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

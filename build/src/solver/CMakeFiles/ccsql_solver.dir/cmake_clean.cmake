@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsql_solver.dir/generator.cpp.o"
+  "CMakeFiles/ccsql_solver.dir/generator.cpp.o.d"
+  "libccsql_solver.a"
+  "libccsql_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsql_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_property_test.dir/cycle_property_test.cpp.o"
+  "CMakeFiles/cycle_property_test.dir/cycle_property_test.cpp.o.d"
+  "cycle_property_test"
+  "cycle_property_test.pdb"
+  "cycle_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcg_test.dir/vcg_test.cpp.o"
+  "CMakeFiles/vcg_test.dir/vcg_test.cpp.o.d"
+  "vcg_test"
+  "vcg_test.pdb"
+  "vcg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

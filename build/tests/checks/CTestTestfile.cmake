@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/checks
+# Build directory: /root/repo/build/tests/checks
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/checks/invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/checks/vcg_test[1]_include.cmake")
+include("/root/repo/build/tests/checks/cycle_property_test[1]_include.cmake")
+include("/root/repo/build/tests/checks/reach_test[1]_include.cmake")
+include("/root/repo/build/tests/checks/lint_test[1]_include.cmake")

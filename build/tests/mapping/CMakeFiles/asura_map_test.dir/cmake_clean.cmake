@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asura_map_test.dir/asura_map_test.cpp.o"
+  "CMakeFiles/asura_map_test.dir/asura_map_test.cpp.o.d"
+  "asura_map_test"
+  "asura_map_test.pdb"
+  "asura_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asura_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

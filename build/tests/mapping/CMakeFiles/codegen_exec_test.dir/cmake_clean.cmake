@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_exec_test.dir/codegen_exec_test.cpp.o"
+  "CMakeFiles/codegen_exec_test.dir/codegen_exec_test.cpp.o.d"
+  "codegen_exec_test"
+  "codegen_exec_test.pdb"
+  "codegen_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

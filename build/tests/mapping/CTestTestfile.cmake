@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mapping
+# Build directory: /root/repo/build/tests/mapping
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mapping/extend_test[1]_include.cmake")
+include("/root/repo/build/tests/mapping/asura_map_test[1]_include.cmake")
+include("/root/repo/build/tests/mapping/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/mapping/codegen_exec_test[1]_include.cmake")

@@ -1,0 +1,411 @@
+// Self-checking unit generated from Response_bdir.  Exit 0 iff the generated logic reproduces every table row.
+#include <cstdio>
+
+// Value symbols referenced by Response_bdir.
+enum Response_bdir_values {
+  kBusyAtM,
+  kBusyAtS,
+  kBusyAtSi,
+  kBusyFlF,
+  kBusyFlM,
+  kBusyFlS,
+  kBusyIorD,
+  kBusyIorE,
+  kBusyIorR,
+  kBusyIowM,
+  kBusyIowS,
+  kBusyIowSi,
+  kBusyRdD,
+  kBusyRdG,
+  kBusyRdR,
+  kBusyRxD,
+  kBusyRxG,
+  kBusyRxS,
+  kBusyRxSd,
+  kBusyRxSi,
+  kBusyWbM,
+  kCompl,
+  kData,
+  kDec,
+  kFdone,
+  kFree,
+  kFull,
+  kGdone,
+  kGone,
+  kHit,
+  kHome,
+  kI,
+  kIdone,
+  kLocal,
+  kMdone,
+  kMiss,
+  kNotFull,
+  kOne,
+  kRdata,
+  kRemote,
+  kRespq,
+  kZero,
+};
+
+constexpr int kNull = -1;
+constexpr int kUnset = -2;
+
+struct Inputs {
+  int inmsg = kNull;
+  int inmsgsrc = kNull;
+  int inmsgdest = kNull;
+  int inmsgres = kNull;
+  int dirlookup = kNull;
+  int dirst = kNull;
+  int dirpv = kNull;
+  int bdirlookup = kNull;
+  int bdirst = kNull;
+  int bdirpv = kNull;
+  int Qstatus = kNull;
+  int Dqstatus = kNull;
+};
+struct Outputs {
+  int nxtbdirst = kUnset;
+  int nxtbdirpv = kUnset;
+  int bdirop = kUnset;
+  bool error = false;
+};
+
+// Generated from implementation table Response_bdir (56 rows). Do not edit.
+void Response_bdir_step(const Inputs& in, Outputs& out) {
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyRxD;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyRxD;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyRxG;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyRxG;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyRxD;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyRxD;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.nxtbdirpv = kDec;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.nxtbdirpv = kDec;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyIowM;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyIowM;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyIowM;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyIowM;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyAtM;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyAtM;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyAtM;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyAtM;
+    out.nxtbdirpv = kDec;
+    return;
+  }
+  if (in.inmsg == kRdata && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdR && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyRdG;
+    return;
+  }
+  if (in.inmsg == kRdata && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdR && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyRdG;
+    return;
+  }
+  if (in.inmsg == kRdata && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorR && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kRdata && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorR && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kFdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlF && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyFlM;
+    return;
+  }
+  if (in.inmsg == kFdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlF && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyFlM;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyRdG;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyRdG;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyRxG;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyRxG;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyRxS;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyRxS;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kBusyRxS;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kBusyRxS;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorE && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorE && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kCompl && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyWbM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kCompl && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyWbM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kGdone && in.inmsgsrc == kLocal && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdG && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kGdone && in.inmsgsrc == kLocal && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdG && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kGdone && in.inmsgsrc == kLocal && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxG && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  if (in.inmsg == kGdone && in.inmsgsrc == kLocal && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxG && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.nxtbdirst = kI;
+    out.bdirop = kFree;
+    return;
+  }
+  out.error = true;  // illegal input combination
+}
+
+int main() {
+  int failures = 0;
+  struct Vector { Inputs in; Outputs want; };
+  const Vector vectors[] = {
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kOne, kNotFull, kFull}, {kBusyRxD, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kOne, kNotFull, kNotFull}, {kBusyRxD, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kGone, kNotFull, kFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kGone, kNotFull, kNotFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxS, kOne, kNotFull, kFull}, {kBusyRxG, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxS, kOne, kNotFull, kNotFull}, {kBusyRxG, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxS, kGone, kNotFull, kFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxS, kGone, kNotFull, kNotFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSi, kOne, kNotFull, kFull}, {kBusyRxD, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSi, kOne, kNotFull, kNotFull}, {kBusyRxD, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlS, kOne, kNotFull, kFull}, {kI, kDec, kFree, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlS, kOne, kNotFull, kNotFull}, {kI, kDec, kFree, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlS, kGone, kNotFull, kFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlS, kGone, kNotFull, kNotFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowS, kOne, kNotFull, kFull}, {kBusyIowM, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowS, kOne, kNotFull, kNotFull}, {kBusyIowM, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowS, kGone, kNotFull, kFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowS, kGone, kNotFull, kNotFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowSi, kOne, kNotFull, kFull}, {kBusyIowM, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowSi, kOne, kNotFull, kNotFull}, {kBusyIowM, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtS, kOne, kNotFull, kFull}, {kBusyAtM, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtS, kOne, kNotFull, kNotFull}, {kBusyAtM, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtS, kGone, kNotFull, kFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtS, kGone, kNotFull, kNotFull}, {kNull, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtSi, kOne, kNotFull, kFull}, {kBusyAtM, kDec, kNull, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtSi, kOne, kNotFull, kNotFull}, {kBusyAtM, kDec, kNull, false}},
+    {{kRdata, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdR, kZero, kNotFull, kFull}, {kBusyRdG, kNull, kNull, false}},
+    {{kRdata, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdR, kZero, kNotFull, kNotFull}, {kBusyRdG, kNull, kNull, false}},
+    {{kRdata, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorR, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kRdata, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorR, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+    {{kFdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlF, kZero, kNotFull, kFull}, {kBusyFlM, kNull, kNull, false}},
+    {{kFdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlF, kZero, kNotFull, kNotFull}, {kBusyFlM, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdD, kZero, kNotFull, kFull}, {kBusyRdG, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdD, kZero, kNotFull, kNotFull}, {kBusyRdG, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxD, kZero, kNotFull, kFull}, {kBusyRxG, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxD, kZero, kNotFull, kNotFull}, {kBusyRxG, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kOne, kNotFull, kFull}, {kBusyRxS, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kOne, kNotFull, kNotFull}, {kBusyRxS, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kGone, kNotFull, kFull}, {kBusyRxS, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kGone, kNotFull, kNotFull}, {kBusyRxS, kNull, kNull, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorD, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorD, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorE, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorE, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlM, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlM, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowM, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowM, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtM, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtM, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+    {{kCompl, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyWbM, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kCompl, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyWbM, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+    {{kGdone, kLocal, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdG, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kGdone, kLocal, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdG, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+    {{kGdone, kLocal, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxG, kZero, kNotFull, kFull}, {kI, kNull, kFree, false}},
+    {{kGdone, kLocal, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxG, kZero, kNotFull, kNotFull}, {kI, kNull, kFree, false}},
+  };
+  for (const Vector& v : vectors) {
+    Outputs got;
+    Response_bdir_step(v.in, got);
+    bool ok = !got.error;
+    ok = ok && (v.want.nxtbdirst == kNull ? got.nxtbdirst == kUnset : got.nxtbdirst == v.want.nxtbdirst);
+    ok = ok && (v.want.nxtbdirpv == kNull ? got.nxtbdirpv == kUnset : got.nxtbdirpv == v.want.nxtbdirpv);
+    ok = ok && (v.want.bdirop == kNull ? got.bdirop == kUnset : got.bdirop == v.want.bdirop);
+    if (!ok) { ++failures; }
+  }
+  std::printf("Response_bdir: %d failures over 56 vectors\n", failures);
+  return failures == 0 ? 0 : 1;
+}

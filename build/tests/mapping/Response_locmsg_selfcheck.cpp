@@ -1,0 +1,477 @@
+// Self-checking unit generated from Response_locmsg.  Exit 0 iff the generated logic reproduces every table row.
+#include <cstdio>
+
+// Value symbols referenced by Response_locmsg.
+enum Response_locmsg_values {
+  kBusyAtM,
+  kBusyAtS,
+  kBusyAtSi,
+  kBusyFlF,
+  kBusyFlM,
+  kBusyFlS,
+  kBusyIorD,
+  kBusyIorE,
+  kBusyIorR,
+  kBusyIowM,
+  kBusyIowS,
+  kBusyIowSi,
+  kBusyRdD,
+  kBusyRdG,
+  kBusyRdR,
+  kBusyRxD,
+  kBusyRxG,
+  kBusyRxS,
+  kBusyRxSd,
+  kBusyRxSi,
+  kBusyWbM,
+  kCompl,
+  kCont,
+  kData,
+  kDone,
+  kFdone,
+  kFull,
+  kGdone,
+  kGone,
+  kHit,
+  kHome,
+  kI,
+  kIdone,
+  kIocompl,
+  kIodata,
+  kLocal,
+  kMdone,
+  kMiss,
+  kNotFull,
+  kOne,
+  kRdata,
+  kRemote,
+  kRespq,
+  kZero,
+};
+
+constexpr int kNull = -1;
+constexpr int kUnset = -2;
+
+struct Inputs {
+  int inmsg = kNull;
+  int inmsgsrc = kNull;
+  int inmsgdest = kNull;
+  int inmsgres = kNull;
+  int dirlookup = kNull;
+  int dirst = kNull;
+  int dirpv = kNull;
+  int bdirlookup = kNull;
+  int bdirst = kNull;
+  int bdirpv = kNull;
+  int Qstatus = kNull;
+  int Dqstatus = kNull;
+};
+struct Outputs {
+  int locmsg = kUnset;
+  int locmsgsrc = kUnset;
+  int locmsgdest = kUnset;
+  int locmsgres = kUnset;
+  int cmpl = kUnset;
+  bool error = false;
+};
+
+// Generated from implementation table Response_locmsg (56 rows). Do not edit.
+void Response_locmsg_step(const Inputs& in, Outputs& out) {
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtS && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtS && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kIdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtSi && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kRdata && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdR && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kRdata && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdR && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kRdata && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorR && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kIodata;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kRdata && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorR && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kIodata;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kFdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlF && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kFdone && in.inmsgsrc == kRemote && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlF && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kOne && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxSd && in.bdirpv == kGone && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kCont;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kIodata;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorD && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kIodata;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorE && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kIodata;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kData && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIorE && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kIodata;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyFlM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kIocompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyIowM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kIocompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kMdone && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyAtM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kCompl && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyWbM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kCompl && in.inmsgsrc == kHome && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyWbM && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.locmsg = kCompl;
+    out.locmsgsrc = kHome;
+    out.locmsgdest = kLocal;
+    out.locmsgres = kRespq;
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kGdone && in.inmsgsrc == kLocal && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdG && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kGdone && in.inmsgsrc == kLocal && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRdG && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kGdone && in.inmsgsrc == kLocal && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxG && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kFull) {
+    out.cmpl = kDone;
+    return;
+  }
+  if (in.inmsg == kGdone && in.inmsgsrc == kLocal && in.inmsgdest == kHome && in.inmsgres == kRespq && in.dirlookup == kMiss && in.dirst == kI && in.dirpv == kZero && in.bdirlookup == kHit && in.bdirst == kBusyRxG && in.bdirpv == kZero && in.Qstatus == kNotFull && in.Dqstatus == kNotFull) {
+    out.cmpl = kDone;
+    return;
+  }
+  out.error = true;  // illegal input combination
+}
+
+int main() {
+  int failures = 0;
+  struct Vector { Inputs in; Outputs want; };
+  const Vector vectors[] = {
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kOne, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kOne, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kGone, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kGone, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxS, kOne, kNotFull, kFull}, {kCompl, kHome, kLocal, kRespq, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxS, kOne, kNotFull, kNotFull}, {kCompl, kHome, kLocal, kRespq, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxS, kGone, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxS, kGone, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSi, kOne, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSi, kOne, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlS, kOne, kNotFull, kFull}, {kCompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlS, kOne, kNotFull, kNotFull}, {kCompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlS, kGone, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlS, kGone, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowS, kOne, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowS, kOne, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowS, kGone, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowS, kGone, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowSi, kOne, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowSi, kOne, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtS, kOne, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtS, kOne, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtS, kGone, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtS, kGone, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtSi, kOne, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kIdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtSi, kOne, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kRdata, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdR, kZero, kNotFull, kFull}, {kCompl, kHome, kLocal, kRespq, kCont, false}},
+    {{kRdata, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdR, kZero, kNotFull, kNotFull}, {kCompl, kHome, kLocal, kRespq, kCont, false}},
+    {{kRdata, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorR, kZero, kNotFull, kFull}, {kIodata, kHome, kLocal, kRespq, kDone, false}},
+    {{kRdata, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorR, kZero, kNotFull, kNotFull}, {kIodata, kHome, kLocal, kRespq, kDone, false}},
+    {{kFdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlF, kZero, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kFdone, kRemote, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlF, kZero, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdD, kZero, kNotFull, kFull}, {kCompl, kHome, kLocal, kRespq, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdD, kZero, kNotFull, kNotFull}, {kCompl, kHome, kLocal, kRespq, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxD, kZero, kNotFull, kFull}, {kCompl, kHome, kLocal, kRespq, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxD, kZero, kNotFull, kNotFull}, {kCompl, kHome, kLocal, kRespq, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kOne, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kOne, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kGone, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxSd, kGone, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kCont, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorD, kZero, kNotFull, kFull}, {kIodata, kHome, kLocal, kRespq, kDone, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorD, kZero, kNotFull, kNotFull}, {kIodata, kHome, kLocal, kRespq, kDone, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorE, kZero, kNotFull, kFull}, {kIodata, kHome, kLocal, kRespq, kDone, false}},
+    {{kData, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIorE, kZero, kNotFull, kNotFull}, {kIodata, kHome, kLocal, kRespq, kDone, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlM, kZero, kNotFull, kFull}, {kCompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyFlM, kZero, kNotFull, kNotFull}, {kCompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowM, kZero, kNotFull, kFull}, {kIocompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyIowM, kZero, kNotFull, kNotFull}, {kIocompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtM, kZero, kNotFull, kFull}, {kCompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kMdone, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyAtM, kZero, kNotFull, kNotFull}, {kCompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kCompl, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyWbM, kZero, kNotFull, kFull}, {kCompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kCompl, kHome, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyWbM, kZero, kNotFull, kNotFull}, {kCompl, kHome, kLocal, kRespq, kDone, false}},
+    {{kGdone, kLocal, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdG, kZero, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kDone, false}},
+    {{kGdone, kLocal, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRdG, kZero, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kDone, false}},
+    {{kGdone, kLocal, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxG, kZero, kNotFull, kFull}, {kNull, kNull, kNull, kNull, kDone, false}},
+    {{kGdone, kLocal, kHome, kRespq, kMiss, kI, kZero, kHit, kBusyRxG, kZero, kNotFull, kNotFull}, {kNull, kNull, kNull, kNull, kDone, false}},
+  };
+  for (const Vector& v : vectors) {
+    Outputs got;
+    Response_locmsg_step(v.in, got);
+    bool ok = !got.error;
+    ok = ok && (v.want.locmsg == kNull ? got.locmsg == kUnset : got.locmsg == v.want.locmsg);
+    ok = ok && (v.want.locmsgsrc == kNull ? got.locmsgsrc == kUnset : got.locmsgsrc == v.want.locmsgsrc);
+    ok = ok && (v.want.locmsgdest == kNull ? got.locmsgdest == kUnset : got.locmsgdest == v.want.locmsgdest);
+    ok = ok && (v.want.locmsgres == kNull ? got.locmsgres == kUnset : got.locmsgres == v.want.locmsgres);
+    ok = ok && (v.want.cmpl == kNull ? got.cmpl == kUnset : got.cmpl == v.want.cmpl);
+    if (!ok) { ++failures; }
+  }
+  std::printf("Response_locmsg: %d failures over 56 vectors\n", failures);
+  return failures == 0 ? 0 : 1;
+}

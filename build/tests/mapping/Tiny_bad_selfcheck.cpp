@@ -1,0 +1,52 @@
+// Self-checking unit generated from Tiny.  Exit 0 iff the generated logic reproduces every table row.
+#include <cstdio>
+
+// Value symbols referenced by Tiny.
+enum Tiny_values {
+  kP,
+  kQ,
+  kR1,
+  kR2,
+};
+
+constexpr int kNull = -1;
+constexpr int kUnset = -2;
+
+struct Inputs {
+  int a = kNull;
+};
+struct Outputs {
+  int x = kUnset;
+  bool error = false;
+};
+
+// Generated from implementation table Tiny (2 rows). Do not edit.
+void Tiny_step(const Inputs& in, Outputs& out) {
+  if (in.a == kP) {
+    out.x = kR1;
+    return;
+  }
+  if (in.a == kQ) {
+    out.x = kR2;
+    return;
+  }
+  out.error = true;  // illegal input combination
+}
+
+int main() {
+  int failures = 0;
+  struct Vector { Inputs in; Outputs want; };
+  const Vector vectors[] = {
+    {{kP}, {kR1, false}},
+    {{kQ}, {kR1, false}},
+  };
+  for (const Vector& v : vectors) {
+    Outputs got;
+    Tiny_step(v.in, got);
+    bool ok = !got.error;
+    ok = ok && (v.want.x == kNull ? got.x == kUnset : got.x == v.want.x);
+    if (!ok) { ++failures; }
+  }
+  std::printf("Tiny: %d failures over 2 vectors\n", failures);
+  return failures == 0 ? 0 : 1;
+}

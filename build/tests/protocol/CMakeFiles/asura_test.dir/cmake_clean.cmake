@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asura_test.dir/asura_test.cpp.o"
+  "CMakeFiles/asura_test.dir/asura_test.cpp.o.d"
+  "asura_test"
+  "asura_test.pdb"
+  "asura_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asura_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_assignment_test.dir/channel_assignment_test.cpp.o"
+  "CMakeFiles/channel_assignment_test.dir/channel_assignment_test.cpp.o.d"
+  "channel_assignment_test"
+  "channel_assignment_test.pdb"
+  "channel_assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

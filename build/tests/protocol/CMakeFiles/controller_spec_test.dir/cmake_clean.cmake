@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_spec_test.dir/controller_spec_test.cpp.o"
+  "CMakeFiles/controller_spec_test.dir/controller_spec_test.cpp.o.d"
+  "controller_spec_test"
+  "controller_spec_test.pdb"
+  "controller_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

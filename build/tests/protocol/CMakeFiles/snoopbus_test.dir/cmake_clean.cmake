@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoopbus_test.dir/snoopbus_test.cpp.o"
+  "CMakeFiles/snoopbus_test.dir/snoopbus_test.cpp.o.d"
+  "snoopbus_test"
+  "snoopbus_test.pdb"
+  "snoopbus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoopbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

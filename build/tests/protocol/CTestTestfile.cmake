@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/protocol
+# Build directory: /root/repo/build/tests/protocol
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/protocol/message_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/roles_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/channel_assignment_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/controller_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/asura_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/snoopbus_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/golden_test[1]_include.cmake")

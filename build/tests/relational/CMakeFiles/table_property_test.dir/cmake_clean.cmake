@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_property_test.dir/table_property_test.cpp.o"
+  "CMakeFiles/table_property_test.dir/table_property_test.cpp.o.d"
+  "table_property_test"
+  "table_property_test.pdb"
+  "table_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/relational
+# Build directory: /root/repo/build/tests/relational
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/relational/symbol_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/domain_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/table_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/query_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/format_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/table_property_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/statement_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/parser_fuzz_test[1]_include.cmake")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/table_index_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/network_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/machine_test[1]_include.cmake")
