@@ -13,6 +13,13 @@
 //                                     exhaustive exploration (baseline)
 //   ccsql flow                        the full push-button report
 //
+// Global flags (any command):
+//   --trace FILE               write a trace (format from extension)
+//   --trace-format FMT         text | jsonl | chrome
+//   --metrics                  collect + print the metrics summary
+// CCSQL_TRACE / CCSQL_TRACE_FORMAT / CCSQL_METRICS=1 in the environment do
+// the same.
+//
 // All commands operate on the built-in ASURA reconstruction.
 #include <cstring>
 #include <iostream>
@@ -24,6 +31,7 @@
 #include "checks/reach.hpp"
 #include "core/flow.hpp"
 #include "mapping/codegen.hpp"
+#include "obs/obs.hpp"
 #include "protocol/asura/asura.hpp"
 #include "relational/format.hpp"
 #include "sim/machine.hpp"
@@ -48,6 +56,13 @@ struct Args {
     }
     return fallback;
   }
+  [[nodiscard]] std::string str_value_of(const std::string& f,
+                                         const std::string& fallback) const {
+    for (std::size_t i = 0; i + 1 < flags.size(); ++i) {
+      if (flags[i] == f) return flags[i + 1];
+    }
+    return fallback;
+  }
 };
 
 int usage() {
@@ -62,7 +77,9 @@ int usage() {
          "  sim [ASSIGNMENT] [--fig4] [--quads N] [--txns N] [--seed N]\n"
          "  reach [ASSIGNMENT] [--quads N] [--addrs N] [--ops N]\n"
          "  lint                     specification hygiene advisories\n"
-         "  flow                     full push-button report\n";
+         "  flow                     full push-button report\n"
+         "global flags: --trace FILE [--trace-format text|jsonl|chrome] "
+         "--metrics\n";
   return 2;
 }
 
@@ -165,7 +182,6 @@ int cmd_sim(const ProtocolSpec& spec, const Args& args) {
   cfg.channel_capacity = args.value_of("--capacity", 2);
   cfg.transactions_per_node = args.value_of("--txns", 100);
   cfg.seed = static_cast<unsigned>(args.value_of("--seed", 1));
-  cfg.trace = args.has("--trace");
 
   if (args.has("--fig4")) {
     cfg.n_quads = 3;
@@ -195,6 +211,7 @@ int cmd_sim(const ProtocolSpec& spec, const Args& args) {
             << r.transactions_done << " errors=" << r.errors.size() << "\n";
   for (const auto& e : r.errors) std::cout << "  " << e << "\n";
   if (r.deadlocked) std::cout << r.deadlock_report;
+  if (args.has("--metrics")) std::cout << r.counters.summary();
   return r.healthy() ? 0 : 1;
 }
 
@@ -236,6 +253,46 @@ int cmd_flow(const ProtocolSpec& spec, const Args&) {
   return report.debugged(asura::kAssignV5Fix) ? 0 : 1;
 }
 
+/// Installs the sink / metrics requested by --trace/--trace-format/--metrics
+/// (the CCSQL_TRACE environment path is handled by Tracer::global() itself).
+int configure_observability(const Args& args) {
+  auto& tracer = obs::Tracer::global();
+  if (args.has("--trace")) {
+    const std::string path = args.str_value_of("--trace", "");
+    if (path.empty()) {
+      std::cerr << "error: --trace needs a file path\n";
+      return 2;
+    }
+    obs::Format format = obs::format_for_path(path);
+    if (args.has("--trace-format")) {
+      auto parsed = obs::parse_format(args.str_value_of("--trace-format", ""));
+      if (!parsed) {
+        std::cerr << "error: --trace-format must be text, jsonl or chrome\n";
+        return 2;
+      }
+      format = *parsed;
+    }
+    tracer.set_sink(obs::open_trace_file(path, format));
+  }
+  if (args.has("--metrics")) tracer.enable_metrics();
+  return 0;
+}
+
+int dispatch(const std::string& cmd, const Args& args) {
+  auto spec = ccsql::asura::make_asura();
+  if (cmd == "tables") return cmd_tables(*spec, args);
+  if (cmd == "sql") return cmd_sql(*spec, args);
+  if (cmd == "invariants") return cmd_invariants(*spec, args);
+  if (cmd == "deadlock") return cmd_deadlock(*spec, args);
+  if (cmd == "map") return cmd_map(*spec, args);
+  if (cmd == "codegen") return cmd_codegen(*spec, args);
+  if (cmd == "sim") return cmd_sim(*spec, args);
+  if (cmd == "reach") return cmd_reach(*spec, args);
+  if (cmd == "lint") return cmd_lint(*spec, args);
+  if (cmd == "flow") return cmd_flow(*spec, args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -243,9 +300,15 @@ int main(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
     if (argv[i][0] == '-') {
-      args.flags.emplace_back(argv[i]);
-      // A numeric flag value follows.
+      const std::string flag = argv[i];
+      args.flags.emplace_back(flag);
+      const bool string_valued = flag == "--trace" || flag == "--trace-format";
       if (i + 1 < argc && argv[i + 1][0] != '-') {
+        if (string_valued) {
+          args.flags.emplace_back(argv[++i]);
+          continue;
+        }
+        // A numeric flag value follows.
         char* end = nullptr;
         (void)std::strtol(argv[i + 1], &end, 10);
         if (end != argv[i + 1] && *end == '\0') {
@@ -258,21 +321,17 @@ int main(int argc, char** argv) {
   }
 
   const std::string cmd = argv[1];
+  int rc = 1;
   try {
-    auto spec = ccsql::asura::make_asura();
-    if (cmd == "tables") return cmd_tables(*spec, args);
-    if (cmd == "sql") return cmd_sql(*spec, args);
-    if (cmd == "invariants") return cmd_invariants(*spec, args);
-    if (cmd == "deadlock") return cmd_deadlock(*spec, args);
-    if (cmd == "map") return cmd_map(*spec, args);
-    if (cmd == "codegen") return cmd_codegen(*spec, args);
-    if (cmd == "sim") return cmd_sim(*spec, args);
-    if (cmd == "reach") return cmd_reach(*spec, args);
-    if (cmd == "lint") return cmd_lint(*spec, args);
-    if (cmd == "flow") return cmd_flow(*spec, args);
+    rc = configure_observability(args);
+    if (rc == 0) rc = dispatch(cmd, args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
-  return usage();
+  auto& tracer = obs::Tracer::global();
+  const bool print_metrics = tracer.metrics_enabled();
+  tracer.finish();  // flush + close the trace before the process exits
+  if (print_metrics) std::cout << tracer.metrics().summary();
+  return rc;
 }

@@ -110,7 +110,9 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  print_metrics_summary();
   return 0;
 }

@@ -126,7 +126,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.rows_after));
   }
   std::printf("\n");
+  enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  print_metrics_summary();
   return 0;
 }

@@ -97,7 +97,9 @@ int main(int argc, char** argv) {
               "(paper: ~50 invariants, < 5 minutes on a Sparc 10)\n",
               asura_spec().invariants().size(),
               asura_spec().controllers().size());
+  enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  print_metrics_summary();
   return 0;
 }

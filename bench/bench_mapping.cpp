@@ -121,7 +121,9 @@ int main(int argc, char** argv) {
     std::printf("#   %-16s %zu rows x %zu cols\n", p.name.c_str(),
                 p.table.row_count(), p.table.column_count());
   }
+  enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  print_metrics_summary();
   return 0;
 }

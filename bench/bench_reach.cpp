@@ -100,7 +100,9 @@ int main(int argc, char** argv) {
   }
   std::printf("# the SQL deadlock analysis of the same tables is complete "
               "in ~2 ms (below)\n");
+  enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  print_metrics_summary();
   return 0;
 }

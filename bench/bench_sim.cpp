@@ -111,7 +111,9 @@ int main(int argc, char** argv) {
                   cap, a, deadlocked, kRuns, unhealthy);
     }
   }
+  enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  print_metrics_summary();
   return 0;
 }

@@ -6,13 +6,26 @@
 // monolithic sweeps.
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "protocol/asura/asura.hpp"
 #include "solver/generator.hpp"
 
 namespace ccsql::bench {
+
+/// Turns on the global metric registry for this benchmark process.  Call
+/// before the workload; pair with print_metrics_summary() at exit.
+inline void enable_metrics() { obs::Tracer::global().enable_metrics(); }
+
+/// Prints everything the workload counted as one machine-readable line
+/// (`# metrics {...}`), for harnesses that scrape benchmark stdout.
+inline void print_metrics_summary() {
+  std::printf("# metrics %s\n",
+              obs::Tracer::global().metrics().to_json().c_str());
+}
 
 inline const ProtocolSpec& asura_spec() {
   static const std::unique_ptr<ProtocolSpec> spec = asura::make_asura();

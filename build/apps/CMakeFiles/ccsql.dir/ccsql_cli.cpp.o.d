@@ -229,7 +229,12 @@ apps/CMakeFiles/ccsql.dir/ccsql_cli.cpp.o: /root/repo/apps/ccsql_cli.cpp \
  /root/repo/src/checks/invariant.hpp /root/repo/src/checks/vcg.hpp \
  /root/repo/src/protocol/roles.hpp /root/repo/src/mapping/asura_map.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/mapping/codegen.hpp \
+ /root/repo/src/mapping/codegen.hpp /root/repo/src/obs/obs.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/protocol/asura/asura.hpp \
  /root/repo/src/relational/format.hpp /root/repo/src/sim/machine.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
@@ -244,8 +249,7 @@ apps/CMakeFiles/ccsql.dir/ccsql_cli.cpp.o: /root/repo/apps/ccsql_cli.cpp \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsql_obs.dir/obs.cpp.o"
+  "CMakeFiles/ccsql_obs.dir/obs.cpp.o.d"
+  "CMakeFiles/ccsql_obs.dir/sinks.cpp.o"
+  "CMakeFiles/ccsql_obs.dir/sinks.cpp.o.d"
+  "libccsql_obs.a"
+  "libccsql_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsql_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

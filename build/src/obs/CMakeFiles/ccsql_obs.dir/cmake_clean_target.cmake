@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccsql_obs.a"
+)

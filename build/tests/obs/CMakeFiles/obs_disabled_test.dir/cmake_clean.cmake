@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_disabled_test.dir/obs_disabled_test.cpp.o"
+  "CMakeFiles/obs_disabled_test.dir/obs_disabled_test.cpp.o.d"
+  "obs_disabled_test"
+  "obs_disabled_test.pdb"
+  "obs_disabled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_disabled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

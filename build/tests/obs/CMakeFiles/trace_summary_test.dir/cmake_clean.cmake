@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_summary_test.dir/trace_summary_test.cpp.o"
+  "CMakeFiles/trace_summary_test.dir/trace_summary_test.cpp.o.d"
+  "trace_summary_test"
+  "trace_summary_test.pdb"
+  "trace_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/ccsql_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/solver/CMakeFiles/ccsql_solver.dir/DependInfo.cmake"
   "/root/repo/build/src/relational/CMakeFiles/ccsql_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ccsql_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -8,7 +8,9 @@
 //
 // Build & run:  ./build/examples/sim_demo
 #include <iostream>
+#include <memory>
 
+#include "obs/obs.hpp"
 #include "protocol/asura/asura.hpp"
 #include "sim/machine.hpp"
 
@@ -17,11 +19,14 @@ using namespace ccsql::sim;
 
 SimResult fig4(const ProtocolSpec& spec, const char* assignment,
                bool trace) {
+  if (trace) {
+    // Per-event instants stream to stdout through the obs layer.
+    obs::Tracer::global().set_sink(std::make_unique<obs::TextSink>(std::cout));
+  }
   SimConfig cfg;
   cfg.n_quads = 3;   // quad 2 is home for lines A and B (L != H = R for A)
   cfg.n_addrs = 6;
   cfg.channel_capacity = 1;
-  cfg.trace = trace;
   Machine m(spec, spec.assignment(assignment), cfg);
   m.set_memory_latency(16);  // a slow memory exposes the interleaving
   m.set_line(2, "MESI", {2});  // A: modified at the node co-located with home
@@ -36,6 +41,7 @@ int main() {
 
   std::cout << "=== Figure 4 scenario under V5 (traced) ===\n";
   SimResult r = fig4(*spec, asura::kAssignV5, /*trace=*/true);
+  obs::Tracer::global().set_sink(nullptr);  // untraced from here on
   std::cout << (r.deadlocked ? "DEADLOCK detected; blocked channels:\n"
                              : "unexpectedly completed\n")
             << r.deadlock_report << "\n";

@@ -3,12 +3,15 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "relational/format.hpp"
 #include "relational/parser.hpp"
 
 namespace ccsql {
 
 InvariantResult InvariantChecker::check(const NamedInvariant& inv) const {
+  CCSQL_SPAN(span, "invariant.check", "checks");
+  span.arg("invariant", inv.name);
   const auto start = std::chrono::steady_clock::now();
   InvariantResult result;
   result.name = inv.name;
@@ -23,15 +26,33 @@ InvariantResult InvariantChecker::check(const NamedInvariant& inv) const {
   const auto end = std::chrono::steady_clock::now();
   result.micros =
       std::chrono::duration<double, std::micro>(end - start).count();
+  span.arg("holds", result.holds);
+  CCSQL_COUNT("invariant.checked", 1);
+  if (!result.holds) CCSQL_COUNT("invariant.violated", 1);
+  CCSQL_OBSERVE("invariant.micros", result.micros);
   return result;
 }
 
 std::vector<InvariantResult> InvariantChecker::check_all(
     const std::vector<NamedInvariant>& suite) const {
+  CCSQL_SPAN(span, "invariant.suite", "checks");
+  span.arg("invariants", suite.size());
   std::vector<InvariantResult> out;
   out.reserve(suite.size());
   for (const auto& inv : suite) out.push_back(check(inv));
   return out;
+}
+
+double InvariantChecker::total_micros(
+    const std::vector<InvariantResult>& results) {
+  double total = 0.0;
+  for (const auto& r : results) total += r.micros;
+  return total;
+}
+
+bool InvariantChecker::within_budget(
+    const std::vector<InvariantResult>& results) {
+  return total_micros(results) < kSuiteBudgetMicros;
 }
 
 bool InvariantChecker::all_hold(const std::vector<InvariantResult>& results) {
@@ -45,19 +66,21 @@ std::string InvariantChecker::report(
     const std::vector<InvariantResult>& results, bool verbose) {
   std::ostringstream os;
   std::size_t failed = 0;
-  double total_us = 0.0;
   for (const auto& r : results) {
-    total_us += r.micros;
     if (!r.holds) ++failed;
     if (verbose || !r.holds) {
-      os << (r.holds ? "PASS " : "FAIL ") << r.name << "\n";
+      os << (r.holds ? "PASS " : "FAIL ") << r.name << " ("
+         << static_cast<long>(r.micros) << " us)\n";
       for (const auto& t : r.violations) {
         os << to_ascii(t, 10);
       }
     }
   }
-  os << results.size() << " invariants, " << failed << " violated, "
-     << static_cast<long>(total_us) << " us total\n";
+  const double total_us = total_micros(results);
+  os << results.size() << " invariants, " << failed << " violated\n"
+     << "suite total: " << static_cast<long>(total_us) << " us ("
+     << total_us / 1e6 << " s; paper budget 300 s: "
+     << (total_us < kSuiteBudgetMicros ? "PASS" : "FAIL") << ")\n";
   return os.str();
 }
 

@@ -1,9 +1,11 @@
 #include "checks/reach.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "sim/machine.hpp"
 
 namespace ccsql {
@@ -11,6 +13,7 @@ namespace ccsql {
 ReachResult explore(const ProtocolSpec& spec, const ChannelAssignment& v,
                     const ReachConfig& config) {
   const auto start = std::chrono::steady_clock::now();
+  CCSQL_SPAN(span, "reach.explore", "checks");
 
   sim::SimConfig sim_cfg;
   sim_cfg.n_quads = config.n_quads;
@@ -35,6 +38,17 @@ ReachResult explore(const ProtocolSpec& spec, const ChannelAssignment& v,
     if (result.states >= config.max_states) {
       result.complete = false;
       break;
+    }
+    if ((result.states & 0xfff) == 0) {
+      CCSQL_INSTANT(
+          "reach.progress", "checks", obs::arg("states", result.states),
+          obs::arg("frontier", frontier.size()),
+          obs::arg("states_per_sec",
+                   result.states /
+                       std::max(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count(),
+                                1e-9)));
     }
     sim::Machine::Snapshot state = std::move(frontier.front());
     frontier.pop_front();
@@ -87,6 +101,14 @@ ReachResult explore(const ProtocolSpec& spec, const ChannelAssignment& v,
 
   const auto end = std::chrono::steady_clock::now();
   result.seconds = std::chrono::duration<double>(end - start).count();
+  span.arg("states", result.states);
+  span.arg("transitions", result.transitions);
+  span.arg("deadlock_states", result.deadlock_states);
+  CCSQL_COUNT("reach.states", result.states);
+  CCSQL_COUNT("reach.transitions", result.transitions);
+  CCSQL_COUNT("reach.deadlock_states", result.deadlock_states);
+  CCSQL_OBSERVE("reach.states_per_sec",
+                result.states / std::max(result.seconds, 1e-9));
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "relational/error.hpp"
 
 namespace ccsql {
@@ -51,10 +52,34 @@ DeadlockAnalysis::DeadlockAnalysis(std::vector<ControllerTableRef> tables,
                                    const ChannelAssignment& v,
                                    DeadlockOptions options)
     : options_(options) {
-  build_controller_rows(tables, v);
-  compose();
-  build_graph();
-  find_cycles();
+  CCSQL_SPAN(span, "vcg.analysis", "checks");
+  {
+    CCSQL_SPAN(s, "vcg.controller_rows", "checks");
+    build_controller_rows(tables, v);
+    s.arg("rows", controller_rows_.size());
+  }
+  {
+    CCSQL_SPAN(s, "vcg.compose", "checks");
+    compose();
+    s.arg("protocol_rows", protocol_rows_.size());
+  }
+  {
+    CCSQL_SPAN(s, "vcg.build_graph", "checks");
+    build_graph();
+    s.arg("edges", edges_.size());
+  }
+  {
+    CCSQL_SPAN(s, "vcg.find_cycles", "checks");
+    find_cycles();
+    s.arg("cycles", cycles_.size());
+  }
+  span.arg("protocol_rows", protocol_rows_.size());
+  span.arg("cycles", cycles_.size());
+  CCSQL_COUNT("vcg.analyses", 1);
+  CCSQL_COUNT("vcg.controller_rows", controller_rows_.size());
+  CCSQL_COUNT("vcg.protocol_rows", protocol_rows_.size());
+  CCSQL_COUNT("vcg.edges", edges_.size());
+  CCSQL_COUNT("vcg.cycles", cycles_.size());
 }
 
 void DeadlockAnalysis::build_controller_rows(
@@ -176,6 +201,11 @@ void DeadlockAnalysis::compose() {
         }
       }
     }
+    CCSQL_COUNT("vcg.compositions", fresh.size());
+    CCSQL_INSTANT("vcg.compose_round", "checks",
+                  ::ccsql::obs::arg("round", round),
+                  ::ccsql::obs::arg("frontier", frontier.size()),
+                  ::ccsql::obs::arg("fresh", fresh.size()));
     if (fresh.empty()) break;
     protocol_rows_.insert(protocol_rows_.end(), fresh.begin(), fresh.end());
     frontier = std::move(fresh);

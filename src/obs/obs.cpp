@@ -1,0 +1,325 @@
+#include "obs/obs.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace ccsql::obs {
+
+// ---- args -------------------------------------------------------------------
+
+Arg arg(std::string_view key, std::string_view value) {
+  return Arg{std::string(key), std::string(value), false};
+}
+Arg arg(std::string_view key, const char* value) {
+  return arg(key, std::string_view(value));
+}
+Arg arg(std::string_view key, std::int64_t value) {
+  return Arg{std::string(key), std::to_string(value), true};
+}
+Arg arg(std::string_view key, std::uint64_t value) {
+  return Arg{std::string(key), std::to_string(value), true};
+}
+Arg arg(std::string_view key, int value) {
+  return arg(key, static_cast<std::int64_t>(value));
+}
+Arg arg(std::string_view key, bool value) {
+  return Arg{std::string(key), value ? "true" : "false", true};
+}
+Arg arg(std::string_view key, double value) {
+  std::ostringstream os;
+  os << value;
+  return Arg{std::string(key), os.str(), true};
+}
+
+// ---- metrics ----------------------------------------------------------------
+
+void Histogram::observe(double value) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+  ++count;
+  sum += value;
+  std::size_t bucket = 0;
+  if (value >= 1.0) {
+    // Bucket i covers [2^(i-1), 2^i).
+    bucket = 1;
+    double upper = 2.0;
+    while (value >= upper && bucket < 64) {
+      upper *= 2.0;
+      ++bucket;
+    }
+  }
+  if (buckets.size() <= bucket) buckets.resize(bucket + 1, 0);
+  ++buckets[bucket];
+}
+
+void Metrics::add(std::string_view counter, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Metrics::observe(std::string_view histogram, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(histogram), Histogram{}).first;
+  }
+  it->second.observe(value);
+}
+
+std::map<std::string, std::uint64_t> Metrics::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, Histogram> Metrics::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
+std::uint64_t Metrics::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string Metrics::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t width = 0;
+  for (const auto& [name, _] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, _] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << std::string(width - name.size() + 2, ' ') << value << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << std::string(width - name.size() + 2, ' ') << "count="
+       << h.count << " sum=" << h.sum << " min=" << h.min << " max=" << h.max
+       << " mean=" << h.mean() << "\n";
+  }
+  return os.str();
+}
+
+std::string Metrics::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":" << value;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":{\"count\":"
+       << h.count << ",\"sum\":" << h.sum << ",\"min\":" << h.min
+       << ",\"max\":" << h.max << ",\"mean\":" << h.mean() << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+// ---- span -------------------------------------------------------------------
+
+Span::Span(Tracer* tracer, std::string_view name, std::string_view category)
+    : tracer_(tracer), name_(name), category_(category) {}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      begin_micros_(other.begin_micros_),
+      args_(std::move(other.args_)) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    begin_micros_ = other.begin_micros_;
+    args_ = std::move(other.args_);
+  }
+  return *this;
+}
+
+Span::~Span() { end(); }
+
+Span& Span::arg(Arg a) {
+  if (tracer_ != nullptr) args_.push_back(std::move(a));
+  return *this;
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = std::exchange(tracer_, nullptr);
+  t->end_span(*this);
+}
+
+// ---- tracer -----------------------------------------------------------------
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() { finish(); }
+
+Tracer& Tracer::global() {
+  static Tracer* instance = [] {
+    auto* t = new Tracer();  // leaked: outlives every static destructor
+    if (const char* path = std::getenv("CCSQL_TRACE");
+        path != nullptr && *path != '\0') {
+      Format format = format_for_path(path);
+      if (const char* f = std::getenv("CCSQL_TRACE_FORMAT")) {
+        if (auto parsed = parse_format(f)) format = *parsed;
+      }
+      try {
+        t->set_sink(open_trace_file(path, format));
+      } catch (const std::exception&) {
+        // A bad CCSQL_TRACE path must not take the process down.
+      }
+    }
+    if (const char* m = std::getenv("CCSQL_METRICS");
+        m != nullptr && *m != '\0' && std::string_view(m) != "0") {
+      t->enable_metrics();
+    }
+    return t;
+  }();
+  return *instance;
+}
+
+std::uint64_t Tracer::now_micros() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::set_sink(std::unique_ptr<Sink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) sink_->finish();
+  sink_ = std::move(sink);
+  depth_ = 0;
+  tracing_.store(sink_ != nullptr, std::memory_order_relaxed);
+}
+
+void Tracer::enable_metrics(bool on) {
+  metrics_on_.store(on, std::memory_order_relaxed);
+}
+
+Span Tracer::span(std::string_view name, std::string_view category) {
+  if (!tracing()) return Span{};
+  Span s(this, name, category);
+  s.begin_micros_ = now_micros();
+  Event e;
+  e.phase = Phase::kBegin;
+  e.name = s.name_;
+  e.category = s.category_;
+  e.ts_micros = s.begin_micros_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_) {
+      e.depth = depth_++;
+      sink_->write(e);
+    }
+  }
+  return s;
+}
+
+void Tracer::end_span(Span& span) {
+  if (!tracing()) return;
+  Event e;
+  e.phase = Phase::kEnd;
+  e.name = std::move(span.name_);
+  e.category = std::move(span.category_);
+  e.ts_micros = now_micros();
+  e.dur_micros = e.ts_micros >= span.begin_micros_
+                     ? e.ts_micros - span.begin_micros_
+                     : 0;
+  e.args = std::move(span.args_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    if (depth_ > 0) --depth_;
+    e.depth = depth_;
+    sink_->write(e);
+  }
+}
+
+void Tracer::instant(std::string_view name, std::string_view category,
+                     std::vector<Arg> args) {
+  if (!tracing()) return;
+  Event e;
+  e.phase = Phase::kInstant;
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.ts_micros = now_micros();
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    e.depth = depth_;
+    sink_->write(e);
+  }
+}
+
+void Tracer::count(std::string_view counter, std::uint64_t delta) {
+  if (!enabled()) return;
+  metrics_.add(counter, delta);
+}
+
+void Tracer::observe(std::string_view histogram, double value) {
+  if (!enabled()) return;
+  metrics_.observe(histogram, value);
+}
+
+void Tracer::finish() {
+  std::unique_ptr<Sink> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = std::move(sink_);
+    tracing_.store(false, std::memory_order_relaxed);
+  }
+  if (!sink) return;
+  const std::uint64_t ts = now_micros();
+  for (const auto& [name, value] : metrics_.counters()) {
+    Event e;
+    e.phase = Phase::kCounter;
+    e.name = name;
+    e.category = "metrics";
+    e.ts_micros = ts;
+    e.args.push_back(arg("value", value));
+    sink->write(e);
+  }
+  for (const auto& [name, h] : metrics_.histograms()) {
+    Event e;
+    e.phase = Phase::kCounter;
+    e.name = name;
+    e.category = "metrics";
+    e.ts_micros = ts;
+    e.args.push_back(arg("count", h.count));
+    e.args.push_back(arg("mean", h.mean()));
+    e.args.push_back(arg("max", h.max));
+    sink->write(e);
+  }
+  sink->finish();
+}
+
+}  // namespace ccsql::obs

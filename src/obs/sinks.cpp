@@ -1,0 +1,225 @@
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace ccsql::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_args_json(std::string& line, const std::vector<Arg>& args) {
+  line += "\"args\":{";
+  bool first = true;
+  for (const auto& a : args) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += json_escape(a.key);
+    line += "\":";
+    if (a.numeric) {
+      line += a.value;
+    } else {
+      line += '"';
+      line += json_escape(a.value);
+      line += '"';
+    }
+  }
+  line += '}';
+}
+
+}  // namespace
+
+// ---- TextSink ---------------------------------------------------------------
+
+void TextSink::write(const Event& e) {
+  std::string line(static_cast<std::size_t>(e.depth) * 2, ' ');
+  switch (e.phase) {
+    case Phase::kBegin:
+      line += "> ";
+      break;
+    case Phase::kEnd:
+      line += "< ";
+      break;
+    case Phase::kInstant:
+      line += "- ";
+      break;
+    case Phase::kCounter:
+      line += "# ";
+      break;
+  }
+  line += e.category;
+  line += '/';
+  line += e.name;
+  line += " @";
+  line += std::to_string(e.ts_micros);
+  line += "us";
+  if (e.phase == Phase::kEnd) {
+    line += " (+";
+    line += std::to_string(e.dur_micros);
+    line += "us)";
+  }
+  for (const auto& a : e.args) {
+    line += ' ';
+    line += a.key;
+    line += '=';
+    line += a.value;
+  }
+  *os_ << line << '\n';
+}
+
+// ---- JsonlSink --------------------------------------------------------------
+
+void JsonlSink::write(const Event& e) {
+  std::string line = "{\"ph\":\"";
+  line += static_cast<char>(e.phase);
+  line += "\",\"ts\":";
+  line += std::to_string(e.ts_micros);
+  if (e.phase == Phase::kEnd) {
+    line += ",\"dur\":";
+    line += std::to_string(e.dur_micros);
+  }
+  line += ",\"name\":\"";
+  line += json_escape(e.name);
+  line += "\",\"cat\":\"";
+  line += json_escape(e.category);
+  line += "\",\"depth\":";
+  line += std::to_string(e.depth);
+  if (!e.args.empty()) {
+    line += ',';
+    append_args_json(line, e.args);
+  }
+  line += '}';
+  *os_ << line << '\n';
+}
+
+// ---- ChromeSink -------------------------------------------------------------
+
+void ChromeSink::write(const Event& e) {
+  std::string line = first_ ? "[\n" : ",\n";
+  first_ = false;
+  line += "{\"name\":\"";
+  line += json_escape(e.name);
+  line += "\",\"cat\":\"";
+  line += json_escape(e.category);
+  line += "\",\"ph\":\"";
+  line += static_cast<char>(e.phase);
+  line += "\",\"ts\":";
+  line += std::to_string(e.ts_micros);
+  line += ",\"pid\":1,\"tid\":1";
+  if (e.phase == Phase::kInstant) line += ",\"s\":\"t\"";
+  if (e.phase == Phase::kCounter && !e.args.empty()) {
+    // Chrome counter tracks chart their args directly.
+    line += ',';
+    append_args_json(line, e.args);
+  } else if (!e.args.empty()) {
+    line += ',';
+    append_args_json(line, e.args);
+  }
+  line += '}';
+  *os_ << line;
+}
+
+void ChromeSink::finish() {
+  if (first_) {
+    *os_ << "[]";
+  } else {
+    *os_ << "\n]";
+  }
+  *os_ << '\n';
+  os_->flush();
+}
+
+// ---- factories --------------------------------------------------------------
+
+std::optional<Format> parse_format(std::string_view name) {
+  if (name == "text") return Format::kText;
+  if (name == "jsonl") return Format::kJsonl;
+  if (name == "chrome") return Format::kChrome;
+  return std::nullopt;
+}
+
+Format format_for_path(std::string_view path) {
+  if (path.size() >= 6 && path.substr(path.size() - 6) == ".jsonl") {
+    return Format::kJsonl;
+  }
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".json") {
+    return Format::kChrome;
+  }
+  return Format::kText;
+}
+
+namespace {
+
+/// A sink that owns the output file of the inner sink.
+class FileSink : public Sink {
+ public:
+  FileSink(std::unique_ptr<std::ofstream> file, Format format)
+      : file_(std::move(file)) {
+    switch (format) {
+      case Format::kText:
+        inner_ = std::make_unique<TextSink>(*file_);
+        break;
+      case Format::kJsonl:
+        inner_ = std::make_unique<JsonlSink>(*file_);
+        break;
+      case Format::kChrome:
+        inner_ = std::make_unique<ChromeSink>(*file_);
+        break;
+    }
+  }
+  void write(const Event& e) override { inner_->write(e); }
+  void finish() override {
+    inner_->finish();
+    file_->flush();
+  }
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  std::unique_ptr<Sink> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sink> open_trace_file(const std::string& path, Format format) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!*file) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  return std::make_unique<FileSink>(std::move(file), format);
+}
+
+}  // namespace ccsql::obs

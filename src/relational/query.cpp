@@ -1,5 +1,6 @@
 #include "relational/query.hpp"
 
+#include "obs/obs.hpp"
 #include "relational/error.hpp"
 
 namespace ccsql {
@@ -21,6 +22,8 @@ const Table& Catalog::get(std::string_view name) const {
 }
 
 Table Catalog::run(const SelectStmt& stmt) const {
+  CCSQL_SPAN(span, "query.select", "relational");
+  span.arg("table", stmt.table);
   const Table& base = get(stmt.table);
   Table filtered = base;
   if (stmt.where) {
@@ -44,6 +47,11 @@ Table Catalog::run(const SelectStmt& stmt) const {
                                    branch.with_schema(result.schema_ptr()));
   }
   if (!stmt.order_by.empty()) result = result.sorted_by(stmt.order_by);
+  span.arg("rows_scanned", base.row_count());
+  span.arg("rows_emitted", result.row_count());
+  CCSQL_COUNT("query.selects", 1);
+  CCSQL_COUNT("query.rows_scanned", base.row_count());
+  CCSQL_COUNT("query.rows_emitted", result.row_count());
   return result;
 }
 

@@ -1,13 +1,36 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
-#include <iostream>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "protocol/asura/asura.hpp"
 #include "relational/error.hpp"
 
 namespace ccsql::sim {
+
+std::string SimCounters::summary() const {
+  std::ostringstream os;
+  const auto line = [&os](std::string_view name, std::uint64_t value) {
+    os << name;
+    for (std::size_t i = name.size(); i < 22; ++i) os << ' ';
+    os << value << "\n";
+  };
+  line("sim.msgs_sent", msgs_sent);
+  line("sim.msgs_recv", msgs_recv);
+  line("sim.table_hits", table_hits);
+  line("sim.table_misses", table_misses);
+  line("sim.send_stalls", send_stalls);
+  line("sim.ops_injected", ops_injected);
+  for (const auto& [vc, n] : per_vc_sent) {
+    line("sim.vc_sent." +
+             std::string(vc.is_null() ? std::string_view("direct")
+                                      : vc.str()),
+         n);
+  }
+  return os.str();
+}
+
 namespace {
 
 Value v_of(std::string_view s) { return Symbol::intern(s); }
@@ -28,8 +51,7 @@ Machine::Machine(const ProtocolSpec& spec, const ChannelAssignment& v,
     : spec_(&spec),
       config_(config),
       net_(v, config.n_quads, config.channel_capacity),
-      rng_(config.seed),
-      trace_(config.trace) {
+      rng_(config.seed) {
   const Catalog& db = spec.database();
   d_index_ = std::make_unique<TableIndex>(
       db.get(asura::kDirectory),
@@ -114,7 +136,40 @@ std::vector<QuadId> Machine::snoop_targets(const DirLine& l,
   return std::vector<QuadId>(l.pv.begin(), l.pv.end());
 }
 
+void Machine::post(const SimMessage& msg, QuadId home) {
+  ++counters_.msgs_sent;
+  ++counters_.per_vc_sent[net_.vc_of(msg, home).value_or(Value{})];
+  net_.send(msg, home);
+}
+
+void Machine::consume(const Network::QueueRef& ref) {
+  ++counters_.msgs_recv;
+  net_.pop(ref);
+}
+
+bool Machine::tracing() noexcept {
+#if defined(CCSQL_TRACING_DISABLED)
+  return false;
+#else
+  return obs::Tracer::global().tracing();
+#endif
+}
+
+void Machine::trace_step(const char* what, QuadId q, const SimMessage& msg,
+                         std::string_view extra) {
+  CCSQL_INSTANT(what, "sim", obs::arg("t", now_), obs::arg("node", q),
+                obs::arg("msg", msg.to_string()), obs::arg("extra", extra));
+#if defined(CCSQL_TRACING_DISABLED)
+  (void)what;
+  (void)q;
+  (void)msg;
+  (void)extra;
+#endif
+}
+
 void Machine::record_error(std::string what) {
+  CCSQL_INSTANT("sim.error", "sim", obs::arg("t", now_),
+                obs::arg("what", what));
   if (errors_.size() < 32) {
     errors_.push_back("[" + std::to_string(now_) + "] " + std::move(what));
   }
@@ -179,7 +234,7 @@ bool Machine::step_directory(QuadId q, const Network::QueueRef& ref,
                  std::string(dirpv.str()) + " bdirst=" +
                  std::string(l.bdirst.str()) + " bdirpv=" +
                  std::string(bdirpv.str()));
-    net_.pop(ref);
+    consume(ref);
     return true;
   }
 
@@ -233,13 +288,15 @@ bool Machine::step_directory(QuadId q, const Network::QueueRef& ref,
   }
 
   for (const auto& m : out) {
-    if (!net_.can_send(m, q)) return false;  // stall: output channel full
+    if (!net_.can_send(m, q)) {  // stall: output channel full
+      ++counters_.send_stalls;
+      return false;
+    }
   }
 
-  net_.pop(ref);
-  if (trace_) {
-    std::cout << "[" << now_ << "] D" << q << " " << msg.to_string()
-              << " row " << *row << "\n";
+  consume(ref);
+  if (tracing()) {
+    trace_step("sim.directory", q, msg, "row " + std::to_string(*row));
   }
 
   // State updates.
@@ -278,7 +335,7 @@ bool Machine::step_directory(QuadId q, const Network::QueueRef& ref,
     l.txver = -1;
     l.pending = 0;
   }
-  for (const auto& m : out) net_.send(m, q);
+  for (const auto& m : out) post(m, q);
   return true;
 }
 
@@ -289,7 +346,7 @@ bool Machine::step_memory(QuadId q, const Network::QueueRef& ref,
   auto row = m_index_->find({msg.type});
   if (!row) {
     record_error("M table has no row for " + msg.to_string());
-    net_.pop(ref);
+    consume(ref);
     return true;
   }
   const Value outmsg = m_index_->at(*row, "outmsg");
@@ -298,9 +355,12 @@ bool Machine::step_memory(QuadId q, const Network::QueueRef& ref,
     resp = SimMessage{outmsg, msg.addr, q,       q,
                       v_of("home"),     v_of("home"),
                       outmsg == v_of("data") ? he.memory[msg.addr] : -1};
-    if (!net_.can_send(resp, q)) return false;
+    if (!net_.can_send(resp, q)) {
+      ++counters_.send_stalls;
+      return false;
+    }
   }
-  net_.pop(ref);
+  consume(ref);
   if (m_index_->at(*row, "memop") == v_of("wr")) {
     if (msg.version >= 0) {
       // Writeback / flush / posted update: install the carried version.
@@ -314,12 +374,10 @@ bool Machine::step_memory(QuadId q, const Network::QueueRef& ref,
   if (!outmsg.is_null()) {
     // Reads observe memory after this request's own write (if any).
     if (outmsg == v_of("data")) resp.version = he.memory[msg.addr];
-    net_.send(resp, q);
+    post(resp, q);
   }
   he.cooldown = memory_latency_;
-  if (trace_) {
-    std::cout << "[" << now_ << "] M" << q << " " << msg.to_string() << "\n";
-  }
+  if (tracing()) trace_step("sim.memory", q, msg);
   return true;
 }
 
@@ -340,7 +398,7 @@ bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
   auto row = rsn_index_->find({msg.type, v_of("idle")});
   if (!row) {
     record_error("RSN table has no row for " + msg.to_string());
-    net_.pop(ref);
+    consume(ref);
     return true;
   }
   const Value cmd = rsn_index_->at(*row, "cmdmsg");
@@ -352,7 +410,7 @@ bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
   if (!cc_row) {
     record_error("CC table has no row for (" + std::string(cmd.str()) +
                  ", " + std::string(cst.str()) + ")");
-    net_.pop(ref);
+    consume(ref);
     return true;
   }
   const Value cc_out = cc_index_->at(*cc_row, "outmsg");
@@ -360,7 +418,7 @@ bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
   if (!resp_row) {
     record_error("RSN table has no row for cache response " +
                  std::string(cc_out.str()));
-    net_.pop(ref);
+    consume(ref);
     return true;
   }
   const Value homemsg = rsn_index_->at(*resp_row, "homemsg");
@@ -378,9 +436,12 @@ bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
   }
   SimMessage resp{homemsg, msg.addr,     q, home_of(msg.addr),
                   v_of("remote"), v_of("home"), ver};
-  if (!net_.can_send(resp, q)) return false;
+  if (!net_.can_send(resp, q)) {
+    ++counters_.send_stalls;
+    return false;
+  }
 
-  net_.pop(ref);
+  consume(ref);
   // Now apply the cache command for real.
   (void)apply_cache(q, std::string(cmd.str()), msg.addr);
   // An invalidated dirty owner writes its line through to home memory
@@ -405,10 +466,9 @@ bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
       apply_nc_internal(q, v_of("retry"), msg.addr);
     }
   }
-  net_.send(resp, q);
-  if (trace_) {
-    std::cout << "[" << now_ << "] RSN" << q << " " << msg.to_string()
-              << " -> " << resp.to_string() << "\n";
+  post(resp, q);
+  if (tracing()) {
+    trace_step("sim.rsnoop", q, msg, "-> " + resp.to_string());
   }
   return true;
 }
@@ -435,10 +495,10 @@ bool Machine::step_node_response(QuadId q, const Network::QueueRef& ref,
   if (!row) {
     record_error("NC table has no row for (" + msg.to_string() + ", " +
                  std::string(n.ncst.str()) + ")");
-    net_.pop(ref);
+    consume(ref);
     return true;
   }
-  net_.pop(ref);
+  consume(ref);
   const Value netmsg = nc_index_->at(*row, "netmsg");
   const Value fillmsg = nc_index_->at(*row, "fillmsg");
   const Value nxt = nc_index_->at(*row, "nxtncst");
@@ -474,9 +534,8 @@ bool Machine::step_node_response(QuadId q, const Network::QueueRef& ref,
   if (cmpl == v_of("done")) {
     ++n.done;
   }
-  if (trace_) {
-    std::cout << "[" << now_ << "] NC" << q << " " << msg.to_string()
-              << " ncst=" << n.ncst.str() << "\n";
+  if (tracing()) {
+    trace_step("sim.node", q, msg, "ncst=" + std::string(n.ncst.str()));
   }
   return true;
 }
@@ -488,10 +547,10 @@ bool Machine::step_ioc(QuadId q, const Network::QueueRef& ref,
   if (!row) {
     record_error("IOC table has no row for (" + msg.to_string() + ", " +
                  std::string(n.iocst.str()) + ")");
-    net_.pop(ref);
+    consume(ref);
     return true;
   }
-  net_.pop(ref);
+  consume(ref);
   const Value outmsg = ioc_index_->at(*row, "outmsg");
   const Value devmsg = ioc_index_->at(*row, "devmsg");
   const Value nxt = ioc_index_->at(*row, "nxtiocst");
@@ -505,9 +564,8 @@ bool Machine::step_ioc(QuadId q, const Network::QueueRef& ref,
     ++n.done;
   }
   if (!nxt.is_null()) n.iocst = nxt;
-  if (trace_) {
-    std::cout << "[" << now_ << "] IOC" << q << " " << msg.to_string()
-              << " iocst=" << n.iocst.str() << "\n";
+  if (tracing()) {
+    trace_step("sim.ioc", q, msg, "iocst=" + std::string(n.iocst.str()));
   }
   return true;
 }
@@ -534,8 +592,11 @@ bool Machine::drain_outbox(QuadId q) {
   Node& n = node(q);
   if (n.outbox.empty()) return false;
   const SimMessage& m = n.outbox.front();
-  if (!net_.can_send(m, home_of(m.addr))) return false;
-  net_.send(m, home_of(m.addr));
+  if (!net_.can_send(m, home_of(m.addr))) {
+    ++counters_.send_stalls;
+    return false;
+  }
+  post(m, home_of(m.addr));
   n.outbox.pop_front();
   return true;
 }
@@ -586,6 +647,7 @@ bool Machine::inject(QuadId q) {
 
 bool Machine::issue_op(QuadId q, Value op, Addr addr) {
   Node& n = node(q);
+  ++counters_.ops_injected;
   const Value cst = n.cst.count(addr) ? n.cst[addr] : v_of("I");
 
   // Processor-side rules: hits complete locally; a write to a shared copy
@@ -620,9 +682,11 @@ bool Machine::issue_op(QuadId q, Value op, Addr addr) {
                    home_of(addr), v_of("local"), v_of("home"), -1});
     n.io_cur = addr;
     n.iocst = ioc_index_->at(*io_row, "nxtiocst");
-    if (trace_) {
-      std::cout << "[" << now_ << "] DEV" << q << " " << op.str() << " a"
-                << addr << "\n";
+    if (tracing()) {
+      CCSQL_INSTANT("sim.inject", "sim", ::ccsql::obs::arg("t", now_),
+                    ::ccsql::obs::arg("node", q),
+                    ::ccsql::obs::arg("op", op.str()),
+                    ::ccsql::obs::arg("addr", addr));
     }
     return true;
   }
@@ -645,15 +709,21 @@ bool Machine::issue_op(QuadId q, Value op, Addr addr) {
   }
   n.cur = addr;
   n.ncst = nc_index_->at(*row, "nxtncst");
-  if (trace_) {
-    std::cout << "[" << now_ << "] P" << q << " " << op.str() << " a"
-              << addr << "\n";
+  if (tracing()) {
+    CCSQL_INSTANT("sim.inject", "sim", ::ccsql::obs::arg("t", now_),
+                  ::ccsql::obs::arg("node", q),
+                  ::ccsql::obs::arg("op", op.str()),
+                  ::ccsql::obs::arg("addr", addr));
   }
   return true;
 }
 
 SimResult Machine::run() {
   SimResult result;
+  CCSQL_SPAN(run_span, "sim.run", "sim");
+  run_span.arg("quads", config_.n_quads)
+      .arg("addrs", config_.n_addrs)
+      .arg("channel_capacity", config_.channel_capacity);
   const std::uint64_t stall_threshold =
       static_cast<std::uint64_t>(memory_latency_) + 16;
   std::uint64_t stall = 0;
@@ -693,6 +763,9 @@ SimResult Machine::run() {
       if (net_.in_flight() > 0) {
         result.deadlocked = true;
         result.deadlock_report = net_.describe_blocked();
+        CCSQL_INSTANT("sim.deadlock", "sim", ::ccsql::obs::arg("t", now_),
+                      ::ccsql::obs::arg("in_flight", net_.in_flight()),
+                      ::ccsql::obs::arg("report", result.deadlock_report));
       } else {
         result.stalled = true;
       }
@@ -710,7 +783,37 @@ SimResult Machine::run() {
     errors_.insert(errors_.end(), quiescent.begin(), quiescent.end());
   }
   result.errors = errors_;
+  result.counters = counters();
+
+  // Fold the per-run counters into the global metrics registry so a traced
+  // or --metrics invocation sees sim.* alongside the other layers.
+  CCSQL_COUNT("sim.runs", 1);
+  CCSQL_COUNT("sim.msgs_sent", result.counters.msgs_sent);
+  CCSQL_COUNT("sim.msgs_recv", result.counters.msgs_recv);
+  CCSQL_COUNT("sim.table_hits", result.counters.table_hits);
+  CCSQL_COUNT("sim.table_misses", result.counters.table_misses);
+  CCSQL_COUNT("sim.send_stalls", result.counters.send_stalls);
+  CCSQL_COUNT("sim.ops_injected", result.counters.ops_injected);
+  CCSQL_OBSERVE("sim.steps", result.steps);
+
+  run_span.arg("steps", result.steps)
+      .arg("transactions_done", result.transactions_done)
+      .arg("completed", result.completed)
+      .arg("deadlocked", result.deadlocked)
+      .arg("errors", result.errors.size());
   return result;
+}
+
+SimCounters Machine::counters() const {
+  SimCounters c = counters_;
+  for (const TableIndex* idx :
+       {d_index_.get(), m_index_.get(), nc_index_.get(), cc_index_.get(),
+        rsn_index_.get(), ioc_index_.get()}) {
+    if (idx == nullptr) continue;
+    c.table_hits += idx->hits();
+    c.table_misses += idx->misses();
+  }
+  return c;
 }
 
 std::vector<std::string> Machine::check_quiescent_state() const {

@@ -26,6 +26,8 @@ struct SimResult {
   /// coherence-monitor violations; empty on a healthy run.
   std::vector<std::string> errors;
   std::string deadlock_report;
+  /// Per-run event counters (messages per VC, table hits/misses, stalls).
+  SimCounters counters;
 
   [[nodiscard]] bool healthy() const {
     return completed && !deadlocked && errors.empty();
@@ -152,6 +154,9 @@ class Machine {
     return net_.describe_blocked();
   }
 
+  /// Event counters so far (includes table-index hit/miss totals).
+  [[nodiscard]] SimCounters counters() const;
+
  private:
 
   // -- helpers ---------------------------------------------------------------
@@ -181,6 +186,17 @@ class Machine {
 
   /// Routes a queue-head message to its consuming controller.
   bool deliver(QuadId q, const Network::QueueRef& ref, const SimMessage& msg);
+
+  /// net_.send plus counter/trace bookkeeping.
+  void post(const SimMessage& msg, QuadId home);
+  /// net_.pop plus counter bookkeeping.
+  void consume(const Network::QueueRef& ref);
+  /// True when the global tracer wants per-event instants (constant false
+  /// when instrumentation is compiled out) — guard before building strings.
+  [[nodiscard]] static bool tracing() noexcept;
+  /// Emits a per-event trace instant; call only under tracing().
+  void trace_step(const char* what, QuadId q, const SimMessage& msg,
+                  std::string_view extra = {});
 
   /// Issues one processor/device operation (hit handling included); true on
   /// progress.
@@ -218,7 +234,7 @@ class Machine {
 
   std::vector<std::string> errors_;
   std::mt19937 rng_;
-  bool trace_ = false;
+  SimCounters counters_;
   std::uint64_t now_ = 0;
 };
 

@@ -26,7 +26,11 @@ TableIndex::TableIndex(const Table& table,
 std::optional<std::size_t> TableIndex::find(
     const std::vector<Value>& key) const {
   auto it = index_.find(key_string(key));
-  if (it == index_.end()) return std::nullopt;
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
   return it->second;
 }
 

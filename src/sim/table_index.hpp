@@ -31,12 +31,18 @@ class TableIndex {
     return table_->at(row, table_->schema().index_of(column));
   }
 
+  /// Lifetime lookup counters (observability; see ccsql::obs).
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
  private:
   static std::string key_string(const std::vector<Value>& key);
 
   const Table* table_;
   std::vector<std::size_t> key_cols_;
   std::unordered_map<std::string, std::size_t> index_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
 };
 
 }  // namespace ccsql::sim

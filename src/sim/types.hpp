@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "relational/value.hpp"
@@ -36,6 +37,23 @@ struct SimMessage {
   }
 };
 
+/// Always-on per-run event counters (plain increments, cheap enough for the
+/// hot path).  Flushed into the global ccsql::obs metrics at the end of a
+/// run and printed by `ccsql sim --metrics`.
+struct SimCounters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t table_hits = 0;    // controller-table lookups that matched
+  std::uint64_t table_misses = 0;  // specification incompleteness
+  std::uint64_t send_stalls = 0;   // consume deferred: an output channel full
+  std::uint64_t ops_injected = 0;  // processor/device ops issued
+  /// Messages sent per virtual channel; the NULL key is the dedicated path.
+  std::map<Value, std::uint64_t> per_vc_sent;
+
+  /// Aligned per-run table ("counter  value" lines, VC breakdown last).
+  [[nodiscard]] std::string summary() const;
+};
+
 /// Simulation configuration.
 struct SimConfig {
   int n_quads = 2;
@@ -48,7 +66,6 @@ struct SimConfig {
   /// Transactions to inject per node.
   int transactions_per_node = 50;
   unsigned seed = 1;
-  bool trace = false;
 };
 
 }  // namespace ccsql::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "relational/error.hpp"
 #include "relational/expr.hpp"
 
@@ -79,9 +80,15 @@ Table generate_incremental(const GenerationInput& input,
   const Schema& full = *input.schema;
   std::vector<bool> applied(input.constraints.size(), false);
 
+  CCSQL_SPAN(gen_span, "solver.generate_incremental", "solver");
+  gen_span.arg("columns", full.size());
+  gen_span.arg("constraints", input.constraints.size());
+
   Table cur = Table::unit();
   for (std::size_t ci = 0; ci < full.size(); ++ci) {
     const std::string& col = full.column(ci).name;
+    CCSQL_SPAN(col_span, "solver.column", "solver");
+    col_span.arg("column", col);
     cur = Table::cross(cur, domain_table(domain_for(input, col), full));
 
     IncrementalTrace::Step step;
@@ -111,15 +118,26 @@ Table generate_incremental(const GenerationInput& input,
                                   cur.schema(), full, input.functions);
       cur = cur.select(pred.predicate());
     }
+    col_span.arg("rows_before", step.rows_before_filter);
+    col_span.arg("rows_after", cur.row_count());
+    col_span.arg("constraints_applied", step.constraints_applied.size());
+    CCSQL_COUNT("solver.columns_generated", 1);
+    CCSQL_COUNT("solver.rows_pruned",
+                step.rows_before_filter - cur.row_count());
     step.rows_after = cur.row_count();
     if (trace != nullptr) trace->steps.push_back(std::move(step));
   }
+  gen_span.arg("rows", cur.row_count());
+  CCSQL_COUNT("solver.tables_generated", 1);
   return cur;
 }
 
 Table generate_monolithic(const GenerationInput& input) {
   input.validate();
   const Schema& full = *input.schema;
+  CCSQL_SPAN(span, "solver.generate_monolithic", "solver");
+  span.arg("columns", full.size());
+  span.arg("cross_cardinality", input.cross_cardinality());
 
   // Domains in schema order.
   std::vector<const Domain*> doms;

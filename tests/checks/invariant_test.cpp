@@ -83,9 +83,29 @@ TEST(InvariantChecker, ReportMentionsFailuresAndCounts) {
   EXPECT_NE(report.find("FAIL bad"), std::string::npos);
   EXPECT_EQ(report.find("PASS ok"), std::string::npos);  // non-verbose
   EXPECT_NE(report.find("2 invariants, 1 violated"), std::string::npos);
+  EXPECT_NE(report.find("suite total:"), std::string::npos);
+  EXPECT_NE(report.find("paper budget 300 s: PASS"), std::string::npos);
   std::string verbose =
       InvariantChecker::report(checker.check_all(suite), /*verbose=*/true);
   EXPECT_NE(verbose.find("PASS ok"), std::string::npos);
+}
+
+TEST(InvariantChecker, SuiteTotalAndBudget) {
+  Catalog cat = small_db();
+  InvariantChecker checker(cat);
+  std::vector<NamedInvariant> suite{
+      {"ok", "", "[select dirst from D where dirst = nosuch] = empty"},
+      {"ok2", "", "[select dirst from D where dirst = nosuch] = empty"},
+  };
+  auto results = checker.check_all(suite);
+  const double total = InvariantChecker::total_micros(results);
+  EXPECT_DOUBLE_EQ(total, results[0].micros + results[1].micros);
+  EXPECT_GT(total, 0.0);
+  EXPECT_TRUE(InvariantChecker::within_budget(results));
+
+  // A synthetic over-budget suite trips the check.
+  results[0].micros = InvariantChecker::kSuiteBudgetMicros + 1.0;
+  EXPECT_FALSE(InvariantChecker::within_budget(results));
 }
 
 TEST(InvariantChecker, MalformedSqlThrows) {

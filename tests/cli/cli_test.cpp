@@ -5,7 +5,10 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <unistd.h>
 
 namespace {
 
@@ -68,6 +71,9 @@ TEST(Cli, InvariantsPass) {
   RunResult r = run("invariants");
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("0 violated"), std::string::npos);
+  // The suite reports its total time against the paper's <5 min budget.
+  EXPECT_NE(r.output.find("suite total:"), std::string::npos);
+  EXPECT_NE(r.output.find("paper budget 300 s: PASS"), std::string::npos);
 }
 
 TEST(Cli, DeadlockFindsFigure4AndExitsNonzero) {
@@ -129,6 +135,62 @@ TEST(Cli, FlowReportsDebugged) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("debugged under V5fix: 1"), std::string::npos);
   EXPECT_NE(r.output.find("hardware mapping:"), std::string::npos);
+  EXPECT_NE(r.output.find("sim validation"), std::string::npos);
+  EXPECT_NE(r.output.find("budget OK"), std::string::npos);
+}
+
+TEST(Cli, SimMetricsPrintsCounterTable) {
+#ifdef CCSQL_TRACING_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out (CCSQL_TRACING=OFF)";
+#endif
+  RunResult r = run("sim V5fix --quads 2 --txns 10 --metrics");
+  EXPECT_EQ(r.exit_code, 0);
+  // Per-run counters ...
+  EXPECT_NE(r.output.find("sim.msgs_sent"), std::string::npos);
+  EXPECT_NE(r.output.find("sim.table_hits"), std::string::npos);
+  EXPECT_NE(r.output.find("sim.vc_sent."), std::string::npos);
+  // ... and the global registry (solver counters from table generation).
+  EXPECT_NE(r.output.find("solver.tables_generated"), std::string::npos);
+}
+
+TEST(Cli, FlowChromeTraceCoversEveryLayer) {
+#ifdef CCSQL_TRACING_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out (CCSQL_TRACING=OFF)";
+#endif
+  const std::string trace =
+      "/tmp/ccsql_cli_trace_" + std::to_string(getpid()) + ".json";
+  RunResult r = run("flow --trace " + trace + " --trace-format chrome");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  std::ifstream in(trace);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string body = buffer.str();
+  std::remove(trace.c_str());
+
+  EXPECT_EQ(body.front(), '[');  // a trace_event JSON array
+  // Spans from all four instrumented layers plus the flow driver itself.
+  EXPECT_NE(body.find("\"cat\":\"relational\""), std::string::npos);
+  EXPECT_NE(body.find("\"cat\":\"solver\""), std::string::npos);
+  EXPECT_NE(body.find("\"cat\":\"checks\""), std::string::npos);
+  EXPECT_NE(body.find("\"cat\":\"sim\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"flow.run\""), std::string::npos);
+  // trace_event required keys.
+  EXPECT_NE(body.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(body.find("\"ts\":"), std::string::npos);
+}
+
+TEST(Cli, TraceFlagRequiresAPath) {
+  RunResult r = run("flow --trace");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--trace needs a file path"), std::string::npos);
+}
+
+TEST(Cli, BadTraceFormatIsRejected) {
+  RunResult r = run("flow --trace /tmp/x.json --trace-format yaml");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--trace-format must be"), std::string::npos);
 }
 
 }  // namespace

@@ -39,6 +39,40 @@ TEST(Flow, FullAsuraRunIsDebuggedUnderTheFix) {
   // fails for the buggy ones.
   EXPECT_TRUE(report.debugged(asura::kAssignV5Fix));
   EXPECT_FALSE(report.debugged(asura::kAssignV5));
+
+  // The paper's interactive <5-minute budget must hold for this suite.
+  EXPECT_TRUE(report.invariants_within_budget());
+  EXPECT_GT(InvariantChecker::total_micros(report.invariants), 0.0);
+
+  // The dynamic-validation simulation ran under the cycle-free assignment
+  // and is healthy.
+  EXPECT_TRUE(report.sim.ran);
+  EXPECT_FALSE(report.sim.skipped);
+  EXPECT_EQ(report.sim.assignment, asura::kAssignV5Fix);
+  EXPECT_TRUE(report.sim.healthy);
+  EXPECT_GT(report.sim.transactions, 0);
+  EXPECT_EQ(report.sim.error_count, 0u);
+}
+
+TEST(Flow, SimValidationCanBeDisabled) {
+  Flow flow(asura_spec());
+  FlowOptions opts;
+  opts.sim_validate = false;
+  FlowReport report = flow.run(opts);
+  EXPECT_FALSE(report.sim.ran);
+  EXPECT_FALSE(report.sim.skipped);
+  EXPECT_EQ(report.summary().find("sim validation"), std::string::npos);
+}
+
+TEST(Flow, SimValidationSkipsWhenNoCycleFreeAssignment) {
+  Flow flow(asura_spec());
+  FlowOptions opts;
+  opts.assignments = {asura::kAssignV5};  // has cycles
+  FlowReport report = flow.run(opts);
+  EXPECT_FALSE(report.sim.ran);
+  EXPECT_TRUE(report.sim.skipped);
+  EXPECT_NE(report.summary().find("sim validation: skipped"),
+            std::string::npos);
 }
 
 TEST(Flow, AssignmentFilterLimitsAnalysis) {
@@ -60,9 +94,12 @@ TEST(Flow, SummaryMentionsEverything) {
   EXPECT_NE(s.find("controller tables:"), std::string::npos);
   EXPECT_NE(s.find("D: "), std::string::npos);
   EXPECT_NE(s.find("invariants: "), std::string::npos);
+  EXPECT_NE(s.find("budget OK"), std::string::npos);
   EXPECT_NE(s.find("assignment V5fix"), std::string::npos);
   EXPECT_NE(s.find("hardware mapping: "), std::string::npos);
   EXPECT_NE(s.find("verified"), std::string::npos);
+  EXPECT_NE(s.find("sim validation"), std::string::npos);
+  EXPECT_NE(s.find("healthy"), std::string::npos);
 }
 
 TEST(Flow, SkippingInvariantsLeavesThemEmpty) {

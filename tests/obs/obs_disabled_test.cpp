@@ -1,0 +1,49 @@
+// Compiled with CCSQL_TRACING_DISABLED (see CMakeLists): the CCSQL_*
+// macros must reduce to no-ops whose argument expressions are never
+// evaluated, and the spans they declare must be inert.  This exercises the
+// `cmake -DCCSQL_TRACING=OFF` code path without a second build tree — the
+// macros live entirely in the header.
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+#ifndef CCSQL_TRACING_DISABLED
+#error "this test must be compiled with CCSQL_TRACING_DISABLED"
+#endif
+
+namespace {
+
+int evaluations = 0;
+int touch() {
+  ++evaluations;
+  return 1;
+}
+
+TEST(ObsDisabled, MacroArgumentsAreNeverEvaluated) {
+  evaluations = 0;
+  CCSQL_INSTANT("event", "test", ::ccsql::obs::arg("k", touch()));
+  CCSQL_COUNT("counter", static_cast<std::uint64_t>(touch()));
+  CCSQL_OBSERVE("histogram", touch());
+  EXPECT_EQ(evaluations, 0);
+  // Sanity: a direct call does evaluate (the macros removed the calls, not
+  // the function).
+  EXPECT_EQ(touch(), 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ObsDisabled, SpanIsInert) {
+  CCSQL_SPAN(span, "name", "cat");
+  EXPECT_FALSE(span.active());
+  span.arg("k", 1);  // accepted, ignored
+  span.end();
+}
+
+TEST(ObsDisabled, LibraryItselfStillWorks) {
+  // Only the macros are compiled out; direct use of the library (sinks,
+  // metrics, the summary tool) keeps working.
+  ccsql::obs::Metrics m;
+  m.add("direct", 2);
+  EXPECT_EQ(m.counter("direct"), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Unit tests for the ccsql::obs tracing/metrics subsystem: counter and
+// histogram arithmetic, span nesting, the exact JSONL line format (golden)
+// and Chrome trace_event validity (parsed back with the bundled JSON
+// reader).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "obs/json_mini.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace ccsql::obs;
+
+/// Stores every event in an external vector (the tracer owns the sink).
+class CaptureSink : public Sink {
+ public:
+  explicit CaptureSink(std::vector<Event>* out) : out_(out) {}
+  void write(const Event& e) override { out_->push_back(e); }
+
+ private:
+  std::vector<Event>* out_;
+};
+
+// ---- metrics ----------------------------------------------------------------
+
+TEST(Histogram, TracksCountSumMinMaxMean) {
+  Histogram h;
+  h.observe(3.0);
+  h.observe(1.0);
+  h.observe(8.0);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 12.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, Log2Buckets) {
+  Histogram h;
+  h.observe(0.5);   // < 1           -> bucket 0
+  h.observe(1.0);   // [1, 2)        -> bucket 1
+  h.observe(3.0);   // [2, 4)        -> bucket 2
+  h.observe(1024);  // [1024, 2048)  -> bucket 11
+  ASSERT_EQ(h.buckets.size(), 12u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[11], 1u);
+}
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  m.add("a");
+  m.add("a", 41);
+  m.add("b", 5);
+  EXPECT_EQ(m.counter("a"), 42u);
+  EXPECT_EQ(m.counter("b"), 5u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+  m.clear();
+  EXPECT_EQ(m.counter("a"), 0u);
+  EXPECT_TRUE(m.counters().empty());
+}
+
+TEST(Metrics, SummaryAndJson) {
+  Metrics m;
+  m.add("sim.msgs_sent", 7);
+  m.observe("sim.steps", 10.0);
+  m.observe("sim.steps", 30.0);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("sim.msgs_sent"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("mean=20"), std::string::npos);
+
+  // to_json must be valid JSON with both sections.
+  auto v = json::parse(m.to_json());
+  EXPECT_EQ(v.at("counters").at("sim.msgs_sent").number, 7.0);
+  EXPECT_EQ(v.at("histograms").at("sim.steps").at("count").number, 2.0);
+  EXPECT_EQ(v.at("histograms").at("sim.steps").at("mean").number, 20.0);
+}
+
+// ---- spans ------------------------------------------------------------------
+
+TEST(Tracer, SpanNestingDepths) {
+  std::vector<Event> events;
+  Tracer t;
+  t.set_sink(std::make_unique<CaptureSink>(&events));
+  {
+    Span outer = t.span("outer", "test");
+    {
+      Span inner = t.span("inner", "test");
+      inner.arg("k", 1);
+    }
+    t.instant("tick", "test");
+  }
+  t.finish();
+
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].phase, Phase::kBegin);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].phase, Phase::kBegin);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].phase, Phase::kEnd);
+  EXPECT_EQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].depth, 1);
+  ASSERT_EQ(events[2].args.size(), 1u);
+  EXPECT_EQ(events[2].args[0].key, "k");
+  EXPECT_EQ(events[2].args[0].value, "1");
+  EXPECT_EQ(events[3].phase, Phase::kInstant);
+  EXPECT_EQ(events[3].depth, 1);  // inside "outer"
+  EXPECT_EQ(events[4].phase, Phase::kEnd);
+  EXPECT_EQ(events[4].name, "outer");
+  EXPECT_EQ(events[4].depth, 0);
+}
+
+TEST(Tracer, SpanInactiveWithoutSink) {
+  Tracer t;
+  Span s = t.span("quiet", "test");
+  EXPECT_FALSE(s.active());
+  s.arg("ignored", 1);  // must not crash
+}
+
+TEST(Tracer, FinishDumpsMetricsAsCounterEvents) {
+  std::vector<Event> events;
+  Tracer t;
+  t.set_sink(std::make_unique<CaptureSink>(&events));
+  t.count("hits", 3);
+  t.observe("latency", 4.0);
+  t.finish();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, Phase::kCounter);
+  EXPECT_EQ(events[0].name, "hits");
+  EXPECT_EQ(events[0].category, "metrics");
+  ASSERT_FALSE(events[0].args.empty());
+  EXPECT_EQ(events[0].args[0].key, "value");
+  EXPECT_EQ(events[0].args[0].value, "3");
+  EXPECT_EQ(events[1].name, "latency");
+}
+
+TEST(Tracer, CountIsIgnoredWhenFullyDisabled) {
+  Tracer t;  // no sink, metrics off
+  t.count("hits", 3);
+  EXPECT_EQ(t.metrics().counter("hits"), 0u);
+  t.enable_metrics();
+  t.count("hits", 3);
+  EXPECT_EQ(t.metrics().counter("hits"), 3u);
+}
+
+// ---- sink formats -----------------------------------------------------------
+
+TEST(JsonlSink, GoldenLines) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+
+  Event begin;
+  begin.phase = Phase::kBegin;
+  begin.name = "query.select";
+  begin.category = "relational";
+  begin.ts_micros = 42;
+  begin.depth = 1;
+  begin.args.push_back(arg("table", "D"));
+  begin.args.push_back(arg("rows", std::uint64_t{331}));
+  sink.write(begin);
+
+  Event end;
+  end.phase = Phase::kEnd;
+  end.name = "query.select";
+  end.category = "relational";
+  end.ts_micros = 49;
+  end.dur_micros = 7;
+  end.depth = 1;
+  sink.write(end);
+
+  Event instant;
+  instant.phase = Phase::kInstant;
+  instant.name = "a\"b";  // forces escaping
+  instant.category = "sim";
+  instant.ts_micros = 50;
+  sink.write(instant);
+
+  EXPECT_EQ(os.str(),
+            "{\"ph\":\"B\",\"ts\":42,\"name\":\"query.select\","
+            "\"cat\":\"relational\",\"depth\":1,"
+            "\"args\":{\"table\":\"D\",\"rows\":331}}\n"
+            "{\"ph\":\"E\",\"ts\":49,\"dur\":7,\"name\":\"query.select\","
+            "\"cat\":\"relational\",\"depth\":1}\n"
+            "{\"ph\":\"i\",\"ts\":50,\"name\":\"a\\\"b\",\"cat\":\"sim\","
+            "\"depth\":0}\n");
+
+  // Every line must parse as standalone JSON.
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto v = json::parse(line);
+    EXPECT_TRUE(v.has("ph"));
+    EXPECT_TRUE(v.has("ts"));
+    EXPECT_TRUE(v.has("name"));
+  }
+}
+
+TEST(ChromeSink, ProducesValidTraceEventJson) {
+  std::ostringstream os;
+  {
+    Tracer t;
+    t.set_sink(std::make_unique<ChromeSink>(os));
+    {
+      Span s = t.span("vcg.analysis", "checks");
+      t.instant("sim.deadlock", "sim", {arg("t", 9)});
+    }
+    t.count("vcg.compositions", 12);
+    t.finish();
+  }
+
+  auto v = json::parse(os.str());
+  ASSERT_EQ(v.kind, json::JValue::Kind::kArray);
+  ASSERT_EQ(v.arr.size(), 4u);  // B, i, E, C
+  for (const auto& e : v.arr) {
+    EXPECT_TRUE(e.has("ph"));
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+  }
+  EXPECT_EQ(v.arr[0].at("ph").str, "B");
+  EXPECT_EQ(v.arr[0].at("name").str, "vcg.analysis");
+  EXPECT_EQ(v.arr[1].at("ph").str, "i");
+  EXPECT_EQ(v.arr[1].at("s").str, "t");  // instant scope
+  EXPECT_EQ(v.arr[2].at("ph").str, "E");
+  EXPECT_EQ(v.arr[3].at("ph").str, "C");
+  EXPECT_EQ(v.arr[3].at("args").at("value").number, 12.0);
+}
+
+TEST(ChromeSink, EmptyTraceIsAnEmptyArray) {
+  std::ostringstream os;
+  ChromeSink sink(os);
+  sink.finish();
+  auto v = json::parse(os.str());
+  EXPECT_EQ(v.kind, json::JValue::Kind::kArray);
+  EXPECT_TRUE(v.arr.empty());
+}
+
+TEST(TextSink, IndentsByDepth) {
+  std::ostringstream os;
+  TextSink sink(os);
+  Event e;
+  e.phase = Phase::kBegin;
+  e.name = "inner";
+  e.category = "test";
+  e.ts_micros = 5;
+  e.depth = 2;
+  sink.write(e);
+  EXPECT_EQ(os.str(), "    > test/inner @5us\n");
+}
+
+// ---- format selection -------------------------------------------------------
+
+TEST(Format, ParseAndPathInference) {
+  EXPECT_EQ(parse_format("text"), Format::kText);
+  EXPECT_EQ(parse_format("jsonl"), Format::kJsonl);
+  EXPECT_EQ(parse_format("chrome"), Format::kChrome);
+  EXPECT_FALSE(parse_format("yaml").has_value());
+
+  EXPECT_EQ(format_for_path("trace.jsonl"), Format::kJsonl);
+  EXPECT_EQ(format_for_path("trace.json"), Format::kChrome);
+  EXPECT_EQ(format_for_path("trace.txt"), Format::kText);
+}
+
+}  // namespace

@@ -1,4 +1,6 @@
 #include <iostream>
+#include <memory>
+#include "obs/obs.hpp"
 #include "protocol/asura/asura.hpp"
 #include "sim/machine.hpp"
 using namespace ccsql;
@@ -9,6 +11,10 @@ int main(int argc, char** argv) {
   int txns = argc > 1 ? atoi(argv[1]) : 4;
   unsigned seed0 = argc > 2 ? (unsigned)atoi(argv[2]) : 1;
   bool trace = argc > 3;
+  if (trace) {
+    // Verbose mode: stream per-event instants to stdout via the obs layer.
+    obs::Tracer::global().set_sink(std::make_unique<obs::TextSink>(std::cout));
+  }
   for (unsigned seed = seed0; seed < seed0 + (trace ? 1u : 400u); ++seed) {
     SimConfig cfg;
     cfg.n_quads = 3;
@@ -16,7 +22,6 @@ int main(int argc, char** argv) {
     cfg.channel_capacity = 4;
     cfg.transactions_per_node = txns;
     cfg.seed = seed;
-    cfg.trace = trace;
     Machine m(*spec, spec->assignment(asura::kAssignV5Fix), cfg);
     m.set_memory_latency(2);
     m.enable_random_workload();
@@ -28,5 +33,6 @@ int main(int argc, char** argv) {
       if (!trace) break;
     }
   }
+  obs::Tracer::global().finish();
   return 0;
 }

@@ -1,6 +1,8 @@
 // Diagnostic: Figure 4 scenario under V5 (must deadlock) and V5fix (must
 // complete), then a random workload under V5fix.
 #include <iostream>
+#include <memory>
+#include "obs/obs.hpp"
 #include "protocol/asura/asura.hpp"
 #include "sim/machine.hpp"
 
@@ -13,11 +15,14 @@ using namespace ccsql::sim;
 // idone occupies VC2 while the forwarded wb occupies VC4.
 SimResult fig4(const ProtocolSpec& spec, const char* assignment,
                bool trace = false) {
+  if (trace) {
+    // Verbose mode: stream per-event instants to stdout via the obs layer.
+    obs::Tracer::global().set_sink(std::make_unique<obs::TextSink>(std::cout));
+  }
   SimConfig cfg;
   cfg.n_quads = 3;
   cfg.n_addrs = 6;  // homes: addr % 3; quad 2 owns addrs 2 and 5
   cfg.channel_capacity = 1;
-  cfg.trace = trace;
   Machine m(spec, spec.assignment(assignment), cfg);
   m.set_memory_latency(16);
   m.set_line(2, "MESI", {2});  // A: home quad 2, modified at quad 2

@@ -1,0 +1,144 @@
+// trace_summary — digest of a JSONL trace written by ccsql --trace.
+//
+//   trace_summary TRACE.jsonl [--top N]
+//
+// Prints the spans ranked by total self-reported duration, the instant
+// counts, and the counter/histogram rows the tracer flushed at finish().
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_mini.hpp"
+
+namespace {
+
+using ccsql::obs::json::JValue;
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+
+int usage() {
+  std::cerr << "usage: trace_summary TRACE.jsonl [--top N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top = 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_summary: cannot open " << path << "\n";
+    return 1;
+  }
+
+  std::map<std::string, SpanStats> spans;     // "cat/name" -> stats
+  std::map<std::string, std::uint64_t> instants;
+  std::vector<std::pair<std::string, std::string>> counters;  // name, text
+  std::uint64_t events = 0;
+  std::uint64_t bad_lines = 0;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JValue v;
+    try {
+      v = ccsql::obs::json::parse(line);
+    } catch (const std::exception& e) {
+      std::cerr << "trace_summary: line " << lineno << ": " << e.what()
+                << "\n";
+      ++bad_lines;
+      continue;
+    }
+    ++events;
+    const std::string ph = v.has("ph") ? v.at("ph").str : "";
+    const std::string name = v.has("name") ? v.at("name").str : "?";
+    const std::string cat = v.has("cat") ? v.at("cat").str : "?";
+    if (ph == "E") {
+      SpanStats& s = spans[cat + "/" + name];
+      ++s.count;
+      const double dur = v.has("dur") ? v.at("dur").number : 0;
+      s.total_us += dur;
+      s.max_us = std::max(s.max_us, dur);
+    } else if (ph == "i") {
+      ++instants[cat + "/" + name];
+    } else if (ph == "C" && v.has("args")) {
+      std::string text;
+      for (const auto& [key, val] : v.at("args").obj) {
+        if (!text.empty()) text += "  ";
+        text += key + "=";
+        if (val.kind == JValue::Kind::kNumber) {
+          std::ostringstream os;
+          os << std::setprecision(6) << val.number;
+          text += os.str();
+        } else {
+          text += val.str;
+        }
+      }
+      counters.emplace_back(name, text);
+    }
+  }
+
+  std::cout << path << ": " << events << " events";
+  if (bad_lines > 0) std::cout << " (" << bad_lines << " unparsable)";
+  std::cout << "\n";
+
+  if (!spans.empty()) {
+    std::vector<std::pair<std::string, SpanStats>> ranked(spans.begin(),
+                                                          spans.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second.total_us > b.second.total_us;
+    });
+    if (ranked.size() > top) ranked.resize(top);
+    std::cout << "\ntop spans (by total duration):\n";
+    for (const auto& [key, s] : ranked) {
+      std::cout << "  " << std::left << std::setw(32) << key << std::right
+                << std::setw(8) << s.count << " x  total "
+                << static_cast<long long>(s.total_us) << " us  max "
+                << static_cast<long long>(s.max_us) << " us\n";
+    }
+  }
+
+  if (!instants.empty()) {
+    std::cout << "\ninstants:\n";
+    for (const auto& [key, n] : instants) {
+      std::cout << "  " << std::left << std::setw(32) << key << std::right
+                << std::setw(8) << n << "\n";
+    }
+  }
+
+  if (!counters.empty()) {
+    std::cout << "\ncounters:\n";
+    for (const auto& [name, text] : counters) {
+      std::cout << "  " << std::left << std::setw(32) << name << " " << text
+                << "\n";
+    }
+  }
+  return bad_lines > 0 ? 1 : 0;
+}
