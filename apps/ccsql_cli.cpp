@@ -2,6 +2,8 @@
 //
 //   ccsql tables [NAME] [--csv]       print controller tables
 //   ccsql sql "STMT[; STMT...]"       run SQL against the protocol database
+//   ccsql explain "SELECT"            show the optimized query plan with
+//                                     estimated vs actual row counts
 //   ccsql invariants [-v]             run the invariant suite
 //   ccsql deadlock [ASSIGNMENT]       virtual-channel deadlock analysis
 //   ccsql map                         section 5 hardware-mapping flow
@@ -17,6 +19,8 @@
 //   --trace FILE               write a trace (format from extension)
 //   --trace-format FMT         text | jsonl | chrome
 //   --metrics                  collect + print the metrics summary
+//   --no-planner               run every query through the naive executor
+//                              (CCSQL_NO_PLANNER=1 does the same)
 // CCSQL_TRACE / CCSQL_TRACE_FORMAT / CCSQL_METRICS=1 in the environment do
 // the same.
 //
@@ -32,6 +36,7 @@
 #include "core/flow.hpp"
 #include "mapping/codegen.hpp"
 #include "obs/obs.hpp"
+#include "plan/planner.hpp"
 #include "protocol/asura/asura.hpp"
 #include "relational/format.hpp"
 #include "sim/machine.hpp"
@@ -70,6 +75,7 @@ int usage() {
       << "usage: ccsql COMMAND [ARGS]\n"
          "  tables [NAME] [--csv]    print controller tables\n"
          "  sql \"STMT[; ...]\"        run SQL against the protocol database\n"
+         "  explain \"SELECT\"         show the optimized query plan\n"
          "  invariants [-v]          run the invariant suite\n"
          "  deadlock [ASSIGNMENT]    deadlock analysis (default: all)\n"
          "  map                      hardware-mapping flow\n"
@@ -79,7 +85,7 @@ int usage() {
          "  lint                     specification hygiene advisories\n"
          "  flow                     full push-button report\n"
          "global flags: --trace FILE [--trace-format text|jsonl|chrome] "
-         "--metrics\n";
+         "--metrics --no-planner\n";
   return 2;
 }
 
@@ -114,6 +120,12 @@ int cmd_sql(const ProtocolSpec& spec, const Args& args) {
     Table result = db.execute(stmt);
     if (result.column_count() > 0) std::cout << to_ascii(result);
   }
+  return 0;
+}
+
+int cmd_explain(const ProtocolSpec& spec, const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::cout << plan::explain_sql(spec.database(), args.positional[0]);
   return 0;
 }
 
@@ -275,6 +287,7 @@ int configure_observability(const Args& args) {
     tracer.set_sink(obs::open_trace_file(path, format));
   }
   if (args.has("--metrics")) tracer.enable_metrics();
+  if (args.has("--no-planner")) plan::set_planner_enabled(false);
   return 0;
 }
 
@@ -282,6 +295,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   auto spec = ccsql::asura::make_asura();
   if (cmd == "tables") return cmd_tables(*spec, args);
   if (cmd == "sql") return cmd_sql(*spec, args);
+  if (cmd == "explain") return cmd_explain(*spec, args);
   if (cmd == "invariants") return cmd_invariants(*spec, args);
   if (cmd == "deadlock") return cmd_deadlock(*spec, args);
   if (cmd == "map") return cmd_map(*spec, args);

@@ -1,0 +1,112 @@
+// Experiment PLAN (DESIGN.md section 8): naive vs planned query execution.
+//
+// The paper leans on Oracle8's optimizer to make invariant queries cheap;
+// here the ccsql planner (src/plan) provides the same leverage.  Each shape
+// below is timed through the reference executor (Catalog::run_naive) and
+// through the planner (plan::run_select), on the real ASURA tables.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "plan/planner.hpp"
+#include "relational/query.hpp"
+
+namespace {
+
+using namespace ccsql;
+using namespace ccsql::bench;
+
+// The cross+equality shape of the mem-wb-reaches-completion invariant: the
+// naive executor materialises the D x M cross product, the planner runs an
+// index lookup feeding a hash join.
+constexpr const char* kJoinSql =
+    "Select a.memmsg, b.inmsg, b.outmsg from D a, M b "
+    "where a.memmsg = b.inmsg and a.memmsg = \"wb\" and "
+    "not b.outmsg = \"compl\"";
+
+// Self-join of the 331-row directory implementation table: the worst case
+// for the naive cross product (~110k intermediate rows).
+constexpr const char* kSelfJoinSql =
+    "Select a.inmsg, b.inmsg from D a, D b "
+    "where a.memmsg = b.memmsg and a.memmsg = \"wb\" and "
+    "not a.dirst = b.dirst";
+
+// Single-table point-lookup shape (first SELECT of
+// dir-state-pv-consistency).
+constexpr const char* kPointSql =
+    "Select dirst, dirpv from D where dirst = \"MESI\" and "
+    "not dirpv = \"one\"";
+
+void run_shape(benchmark::State& state, const char* sql, bool planned) {
+  const Catalog& db = asura_spec().database();
+  SelectStmt stmt = parse_select(sql);
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    Table t = planned ? plan::run_select(db, stmt) : db.run_naive(stmt);
+    rows = t.row_count();
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_JoinNaive(benchmark::State& state) { run_shape(state, kJoinSql, false); }
+void BM_JoinPlanned(benchmark::State& state) {
+  run_shape(state, kJoinSql, true);
+}
+BENCHMARK(BM_JoinNaive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_JoinPlanned)->Unit(benchmark::kMicrosecond);
+
+void BM_SelfJoinNaive(benchmark::State& state) {
+  run_shape(state, kSelfJoinSql, false);
+}
+void BM_SelfJoinPlanned(benchmark::State& state) {
+  run_shape(state, kSelfJoinSql, true);
+}
+BENCHMARK(BM_SelfJoinNaive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SelfJoinPlanned)->Unit(benchmark::kMicrosecond);
+
+void BM_PointLookupNaive(benchmark::State& state) {
+  run_shape(state, kPointSql, false);
+}
+void BM_PointLookupPlanned(benchmark::State& state) {
+  run_shape(state, kPointSql, true);
+}
+BENCHMARK(BM_PointLookupNaive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PointLookupPlanned)->Unit(benchmark::kMicrosecond);
+
+// Emptiness is the invariant checker's fast path: the planner stops at the
+// first row (Limit 1); the naive check materialises the whole result.
+void BM_ExistsNaive(benchmark::State& state) {
+  const Catalog& db = asura_spec().database();
+  SelectStmt stmt = parse_select(kSelfJoinSql);
+  for (auto _ : state) {
+    bool empty = db.run_naive(stmt).row_count() == 0;
+    benchmark::DoNotOptimize(empty);
+  }
+}
+void BM_ExistsPlanned(benchmark::State& state) {
+  const Catalog& db = asura_spec().database();
+  SelectStmt stmt = parse_select(kSelfJoinSql);
+  for (auto _ : state) {
+    bool empty = plan::is_empty(db, stmt);
+    benchmark::DoNotOptimize(empty);
+  }
+}
+BENCHMARK(BM_ExistsNaive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExistsPlanned)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccsql;
+  using namespace ccsql::bench;
+  std::printf("# Experiment PLAN: naive executor vs query planner on ASURA "
+              "invariant query shapes (D = %zu rows)\n",
+              asura_spec().database().get("D").row_count());
+  enable_metrics();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_metrics_summary();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "plan/planner.hpp"
 #include "relational/format.hpp"
 #include "relational/parser.hpp"
 
@@ -17,6 +18,10 @@ InvariantResult InvariantChecker::check(const NamedInvariant& inv) const {
   result.name = inv.name;
   result.holds = true;
   for (const SelectStmt& stmt : parse_invariant(inv.sql)) {
+    // Fast path: probe emptiness in exists mode (Limit 1) — the common
+    // all-invariants-hold run never materialises a full result.  Only a
+    // violated check is re-run in full, for complete witness reporting.
+    if (plan::planner_enabled() && plan::is_empty(*db_, stmt)) continue;
     Table rows = db_->run(stmt);
     if (rows.row_count() != 0) {
       result.holds = false;

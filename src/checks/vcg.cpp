@@ -8,6 +8,7 @@
 
 #include "obs/obs.hpp"
 #include "relational/error.hpp"
+#include "relational/query.hpp"
 
 namespace ccsql {
 
@@ -142,17 +143,6 @@ void DeadlockAnalysis::build_controller_rows(
   }
 }
 
-namespace {
-
-/// Composition index key: (s, d, v) of an assignment, optionally with the
-/// message (exact matching).
-std::uint64_t sdv_key(Value s, Value d, Value v) {
-  return (static_cast<std::uint64_t>(s.id()) << 42) ^
-         (static_cast<std::uint64_t>(d.id()) << 21) ^ v.id();
-}
-
-}  // namespace
-
 void DeadlockAnalysis::compose() {
   // Start the protocol dependency table with the controller rows.
   std::unordered_set<std::string> seen;
@@ -162,43 +152,60 @@ void DeadlockAnalysis::compose() {
 
   std::vector<DependencyRow> frontier = controller_rows_;
   for (int round = 0; round < options_.composition_rounds; ++round) {
-    // Index the current rows by the (s, d, v) of their *input* assignment,
-    // per placement, for relaxed matching; exact matching additionally
-    // compares the message.
-    std::unordered_map<std::uint64_t, std::vector<const DependencyRow*>>
-        by_input;
-    auto placement_key = [](const DependencyRow& r, std::uint64_t base) {
-      return base * 31 + static_cast<std::uint64_t>(r.placement);
-    };
-    for (const auto& row : protocol_rows_) {
-      by_input[placement_key(row, sdv_key(row.s1, row.d1, row.v1))]
-          .push_back(&row);
+    // The composition step is itself a relational join: the frontier rows'
+    // *output* assignment against every protocol row's *input* assignment,
+    // same placement (paper, section 4.4).  Stage both sides as tables and
+    // let the query planner turn the match into a hash join; the idx
+    // columns carry row provenance back out.
+    Catalog db;
+    Table f(Schema::of({"m2", "s2", "d2", "v2", "placement", "idx"}));
+    f.reserve_rows(frontier.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const DependencyRow& r = frontier[i];
+      f.append({r.m2, r.s2, r.d2, r.v2, V(to_string(r.placement)),
+                V(std::to_string(i))});
     }
+    Table p(Schema::of({"m1", "s1", "d1", "v1", "placement", "idx"}));
+    p.reserve_rows(protocol_rows_.size());
+    for (std::size_t i = 0; i < protocol_rows_.size(); ++i) {
+      const DependencyRow& r = protocol_rows_[i];
+      p.append({r.m1, r.s1, r.d1, r.v1, V(to_string(r.placement)),
+                V(std::to_string(i))});
+    }
+    db.put("F", std::move(f));
+    db.put("P", std::move(p));
+    std::string sql =
+        "select f.idx, p.idx from F f, P p "
+        "where f.s2 = p.s1 and f.d2 = p.d1 and f.v2 = p.v1 "
+        "and f.placement = p.placement";
+    // Relaxed matching joins regardless of message; exactness is recorded
+    // per pair below.
+    if (!options_.ignore_messages) sql += " and f.m2 = p.m1";
+    const Table pairs = db.query(sql);
 
     std::vector<DependencyRow> fresh;
-    for (const auto& r : frontier) {
-      auto it = by_input.find(placement_key(r, sdv_key(r.s2, r.d2, r.v2)));
-      if (it == by_input.end()) continue;
-      for (const DependencyRow* s : it->second) {
-        const bool exact = s->m1 == r.m2;
-        if (!exact && !options_.ignore_messages) continue;
-        DependencyRow composed;
-        composed.m1 = r.m1;
-        composed.s1 = r.s1;
-        composed.d1 = r.d1;
-        composed.v1 = r.v1;
-        composed.m2 = s->m2;
-        composed.s2 = s->s2;
-        composed.d2 = s->d2;
-        composed.v2 = s->v2;
-        composed.placement = r.placement;
-        composed.composed = true;
-        composed.ignored_message = !exact;
-        composed.origin = "compose(" + r.origin + " ; " + s->origin + ")" +
-                          (exact ? "" : " ignoring message");
-        if (seen.insert(composed.key()).second) {
-          fresh.push_back(composed);
-        }
+    for (std::size_t i = 0; i < pairs.row_count(); ++i) {
+      const DependencyRow& r =
+          frontier[std::stoul(std::string(pairs.at(i, 0).str()))];
+      const DependencyRow& s =
+          protocol_rows_[std::stoul(std::string(pairs.at(i, 1).str()))];
+      const bool exact = s.m1 == r.m2;
+      DependencyRow composed;
+      composed.m1 = r.m1;
+      composed.s1 = r.s1;
+      composed.d1 = r.d1;
+      composed.v1 = r.v1;
+      composed.m2 = s.m2;
+      composed.s2 = s.s2;
+      composed.d2 = s.d2;
+      composed.v2 = s.v2;
+      composed.placement = r.placement;
+      composed.composed = true;
+      composed.ignored_message = !exact;
+      composed.origin = "compose(" + r.origin + " ; " + s.origin + ")" +
+                        (exact ? "" : " ignoring message");
+      if (seen.insert(composed.key()).second) {
+        fresh.push_back(composed);
       }
     }
     CCSQL_COUNT("vcg.compositions", fresh.size());

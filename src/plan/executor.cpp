@@ -1,0 +1,247 @@
+#include "plan/executor.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "relational/error.hpp"
+#include "relational/expr.hpp"
+
+namespace ccsql::plan {
+namespace {
+
+/// First `limit` rows of `t` (t itself when it is already small enough).
+Table take(Table t, std::size_t limit) {
+  if (limit == kNoLimit || t.row_count() <= limit) return t;
+  Table out(t.schema_ptr());
+  out.reserve_rows(limit);
+  for (std::size_t i = 0; i < limit; ++i) out.append(t.row(i));
+  return out;
+}
+
+struct Executor {
+  const ExecContext& ctx;
+
+  [[nodiscard]] const Table& base_of(const PlanNode& scan) const {
+    if (scan.bound != nullptr) return *scan.bound;
+    if (ctx.catalog == nullptr) {
+      throw BindError("plan: scan of '" + scan.table_name +
+                      "' without a catalog");
+    }
+    return ctx.catalog->get(scan.table_name);
+  }
+
+  /// Identifier-hood schema for compiling `node`'s predicate.
+  [[nodiscard]] const Schema& full_of(const PlanNode& node) const {
+    return ctx.ident_schema != nullptr ? *ctx.ident_schema : *node.schema;
+  }
+
+  Table exec(PlanNode& node, std::size_t limit) {  // NOLINT(misc-no-recursion)
+    Table out;
+    switch (node.kind) {
+      case PlanNode::Kind::kScan:
+        out = scan(node, limit);
+        break;
+      case PlanNode::Kind::kIndexLookup:
+        out = index_lookup(node, limit);
+        break;
+      case PlanNode::Kind::kSelect:
+        out = select(node, limit);
+        break;
+      case PlanNode::Kind::kProject: {
+        const std::size_t child_limit =
+            node.distinct ? (limit == 1 ? 1 : kNoLimit) : limit;
+        Table in = exec(node.child(), child_limit);
+        out = take(in.project(node.columns, node.distinct), limit);
+        break;
+      }
+      case PlanNode::Kind::kDistinct: {
+        Table in = exec(node.child(), limit == 1 ? 1 : kNoLimit);
+        out = take(in.distinct(), limit);
+        break;
+      }
+      case PlanNode::Kind::kCross: {
+        // A budget of 1 flows into both sides: the product is empty iff
+        // either side is.
+        const std::size_t child_limit = limit == 1 ? 1 : kNoLimit;
+        Table l = exec(node.child(0), child_limit);
+        Table r = exec(node.child(1), child_limit);
+        out = take(Table::cross(l, r), limit);
+        break;
+      }
+      case PlanNode::Kind::kHashJoin:
+        out = hash_join(node, limit);
+        break;
+      case PlanNode::Kind::kUnion: {
+        const std::size_t child_limit = limit == 1 ? 1 : kNoLimit;
+        Table result = exec(node.child(0), child_limit);
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+          if (limit == 1 && result.row_count() > 0) break;
+          Table b = exec(node.child(i), child_limit);
+          result =
+              Table::union_distinct(result, b.with_schema(result.schema_ptr()));
+        }
+        out = take(std::move(result), limit);
+        break;
+      }
+      case PlanNode::Kind::kSort: {
+        Table in = exec(node.child(), kNoLimit);
+        out = take(in.sorted_by(node.order_by), limit);
+        break;
+      }
+      case PlanNode::Kind::kLimit: {
+        Table in = exec(node.child(), std::min(limit, node.limit));
+        out = take(std::move(in), node.limit);
+        break;
+      }
+      case PlanNode::Kind::kCount: {
+        Table in = exec(node.child(), kNoLimit);
+        Table counted(node.schema);
+        counted.append({Symbol::intern(std::to_string(in.row_count()))});
+        out = std::move(counted);
+        break;
+      }
+    }
+    node.actual_rows = out.row_count();
+    return out;
+  }
+
+  Table scan(PlanNode& node, std::size_t limit) {
+    const Table& base = base_of(node);
+    if (limit >= base.row_count()) {
+      CCSQL_COUNT("query.rows_scanned", base.row_count());
+      return base.with_schema(node.schema);
+    }
+    Table out(node.schema);
+    out.reserve_rows(limit);
+    for (std::size_t i = 0; i < limit; ++i) out.append(base.row(i));
+    CCSQL_COUNT("query.rows_scanned", limit);
+    return out;
+  }
+
+  Table index_lookup(PlanNode& node, std::size_t limit) {
+    const Table& base = base_of(node);
+    std::vector<std::size_t> cols;
+    cols.reserve(node.columns.size());
+    for (const auto& name : node.columns) {
+      // node.schema is positionally identical to the base schema (only
+      // alias-renamed), so its indices address base rows directly.
+      cols.push_back(node.schema->index_of(name));
+    }
+    const bool cached = base.has_cached_index(cols);
+    const Table::IndexMap& index = base.index_on(cols);
+    CCSQL_COUNT(cached ? "plan.index_hits" : "plan.index_builds", 1);
+    Table out(node.schema);
+    auto it = index.find(Table::index_key(node.key_values));
+    if (it != index.end()) {
+      for (std::size_t i : it->second) {
+        if (out.row_count() >= limit) break;
+        out.append(base.row(i));
+      }
+    }
+    CCSQL_COUNT("query.rows_scanned", out.row_count());
+    return out;
+  }
+
+  Table select(PlanNode& node, std::size_t limit) {
+    CompiledExpr pred =
+        compile(*node.predicate, *node.schema, full_of(node), ctx.functions);
+    if (node.child().is_scan()) {
+      // Fused path: filter base rows in place, no intermediate copy.
+      const Table& base = base_of(node.child());
+      Table out(node.schema);
+      std::size_t visited = 0;
+      for (std::size_t i = 0;
+           i < base.row_count() && out.row_count() < limit; ++i) {
+        ++visited;
+        RowView r = base.row(i);
+        if (pred.eval(r)) out.append(r);
+      }
+      node.child().actual_rows = visited;
+      CCSQL_COUNT("query.rows_scanned", visited);
+      return out;
+    }
+    Table in = exec(node.child(), kNoLimit);
+    Table out(node.schema);
+    for (std::size_t i = 0; i < in.row_count() && out.row_count() < limit;
+         ++i) {
+      RowView r = in.row(i);
+      if (pred.eval(r)) out.append(r);
+    }
+    return out;
+  }
+
+  Table hash_join(PlanNode& node, std::size_t limit) {
+    PlanNode& lhs = node.child(0);
+    PlanNode& rhs = node.child(1);
+    std::vector<std::size_t> lk, rk;
+    for (const auto& name : node.left_keys) {
+      lk.push_back(lhs.schema->index_of(name));
+    }
+    for (const auto& name : node.right_keys) {
+      rk.push_back(rhs.schema->index_of(name));
+    }
+
+    // Build side: the right child.  A scan build side probes the base
+    // table's persistent index (reused across queries); anything else
+    // materialises and indexes its local result.
+    const Table* right = nullptr;
+    Table right_local;
+    if (rhs.is_scan()) {
+      right = &base_of(rhs);
+      const bool cached = right->has_cached_index(rk);
+      CCSQL_COUNT(cached ? "plan.index_hits" : "plan.index_builds", 1);
+      rhs.actual_rows = right->row_count();
+    } else {
+      right_local = exec(rhs, kNoLimit);
+      right = &right_local;
+    }
+    const Table::IndexMap& index = right->index_on(rk);
+
+    // Probe side: the left child, streamed straight off the base table when
+    // it is a scan.
+    const Table* left = nullptr;
+    Table left_local;
+    if (lhs.is_scan()) {
+      left = &base_of(lhs);
+    } else {
+      left_local = exec(lhs, kNoLimit);
+      left = &left_local;
+    }
+
+    Table out(node.schema);
+    std::vector<Value> tmp(node.schema->size());
+    const std::size_t lw = lhs.schema->size();
+    std::size_t visited = 0;
+    for (std::size_t i = 0;
+         i < left->row_count() && out.row_count() < limit; ++i) {
+      ++visited;
+      RowView lr = left->row(i);
+      auto it = index.find(Table::index_key(lr, lk));
+      if (it == index.end()) continue;
+      std::copy(lr.begin(), lr.end(), tmp.begin());
+      for (std::size_t j : it->second) {
+        RowView rr = right->row(j);
+        std::copy(rr.begin(), rr.end(), tmp.begin() + lw);
+        out.append(RowView(tmp));
+        if (out.row_count() >= limit) break;
+      }
+    }
+    if (lhs.is_scan()) {
+      lhs.actual_rows = visited;
+      CCSQL_COUNT("query.rows_scanned", visited);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Table execute(PlanNode& root, const ExecContext& ctx, std::size_t limit) {
+  CCSQL_SPAN(span, "plan.execute", "plan");
+  Executor ex{ctx};
+  Table out = ex.exec(root, limit);
+  span.arg("rows", out.row_count());
+  return out;
+}
+
+}  // namespace ccsql::plan

@@ -1,0 +1,37 @@
+#pragma once
+
+// Plan execution.  Walks a PlanNode tree bottom-up, materialising Tables,
+// with two fusions the naive interpreter cannot do:
+//
+//  - Select over Scan evaluates the compiled predicate directly against the
+//    base table's rows (no intermediate copy of the whole table), and
+//  - HashJoin over a Scan build side probes the base table's persistent
+//    secondary index (Table::index_on), so repeated queries against catalog
+//    tables reuse the index across calls.
+//
+// A row budget (`limit`) flows down where sound — most importantly the
+// budget of 1 used by emptiness checks, which stops every operator at its
+// first produced row.  Each executed node records its output size in
+// `actual_rows` for EXPLAIN.
+
+#include "plan/ir.hpp"
+#include "relational/query.hpp"
+
+namespace ccsql::plan {
+
+/// Everything a plan needs at run time.
+struct ExecContext {
+  /// Resolves named scans; may be null when every scan is bound to a table.
+  const Catalog* catalog = nullptr;
+  /// WHERE-clause predicate functions (usually &catalog->functions()).
+  const FunctionRegistry* functions = nullptr;
+  /// Identifier-hood schema override for predicate compilation; defaults to
+  /// each node's own schema.  See PlannerOptions::ident_schema.
+  const Schema* ident_schema = nullptr;
+};
+
+/// Executes `root`, producing at most `limit` rows (kNoLimit = all).
+Table execute(PlanNode& root, const ExecContext& ctx,
+              std::size_t limit = kNoLimit);
+
+}  // namespace ccsql::plan

@@ -1,0 +1,37 @@
+#include "plan/explain.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccsql::plan {
+namespace {
+
+/// Estimates render as integers when whole, else with one decimal.
+std::string format_est(double est) {
+  if (est == std::floor(est) && est < 1e15) {
+    return std::to_string(static_cast<long long>(est));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", est);
+  return buf;
+}
+
+void render_node(const PlanNode& node, int depth, std::string& out) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += node.label();
+  out += " (est=" + format_est(node.est_rows) + ", actual=";
+  out += node.actual_rows == kNotExecuted ? "-"
+                                          : std::to_string(node.actual_rows);
+  out += ")\n";
+  for (const auto& c : node.children) render_node(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string render(const PlanNode& root) {
+  std::string out;
+  render_node(root, 0, out);
+  return out;
+}
+
+}  // namespace ccsql::plan

@@ -1,0 +1,22 @@
+#pragma once
+
+// EXPLAIN rendering: a plan tree as indented text, one operator per line,
+// each carrying the optimizer's cardinality estimate and — when the plan has
+// been executed — the observed output row count:
+//
+//   Project [a.memmsg, b.outmsg] distinct (est=3.2, actual=1)
+//     HashJoin (a.memmsg = b.inmsg) (est=14.4, actual=6)
+//       Scan D as a (est=12, actual=12)
+//       IndexLookup M as b (b.inmsg = "wb") (est=2, actual=3)
+
+#include <string>
+
+#include "plan/ir.hpp"
+
+namespace ccsql::plan {
+
+/// Renders `root` (children indented two spaces per level).  Nodes that were
+/// never executed show `actual=-`.
+[[nodiscard]] std::string render(const PlanNode& root);
+
+}  // namespace ccsql::plan

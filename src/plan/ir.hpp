@@ -1,0 +1,111 @@
+#pragma once
+
+// Logical-plan IR of the ccsql query planner (ccsql::plan).
+//
+// A SELECT is compiled into a tree of PlanNodes (scan / select / project /
+// cross / hash-join / union / distinct / sort / limit / count), rewritten by
+// the rule-based optimizer (optimizer.hpp) and run by the executor
+// (executor.hpp).  The paper offloads this to Oracle8's planner; here it is
+// the layer that turns the naive "materialise the cross product, then
+// filter" reading of an invariant query into pushed-down filters, indexed
+// point lookups and hash joins.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/expr.hpp"
+#include "relational/parser.hpp"
+#include "relational/schema.hpp"
+#include "relational/table.hpp"
+
+namespace ccsql::plan {
+
+/// "No limit" sentinel for row budgets.
+inline constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+/// actual_rows value of a node that has not been executed.
+inline constexpr std::size_t kNotExecuted = static_cast<std::size_t>(-1);
+
+struct PlanNode;
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// One operator of a query plan.  A single tagged struct (rather than a
+/// class hierarchy) keeps rewrites — which splice, replace and retype nodes
+/// constantly — simple.
+struct PlanNode {
+  enum class Kind {
+    kScan,         // whole catalog table (table_name) or bound table
+    kIndexLookup,  // point lookup on a base table via a secondary index
+    kSelect,       // filter rows by predicate
+    kProject,      // named columns, optionally distinct
+    kDistinct,     // remove duplicate rows
+    kCross,        // cartesian product of the two children
+    kHashJoin,     // equality join of the two children (build = right)
+    kUnion,        // set union of children, aligned by column position
+    kSort,         // ORDER BY
+    kLimit,        // first `limit` rows
+    kCount,        // COUNT(*) over the child
+  };
+
+  Kind kind = Kind::kScan;
+
+  /// Output schema of this operator (scan schemas are alias-renamed).
+  SchemaPtr schema;
+
+  // -- kScan / kIndexLookup ---------------------------------------------------
+  std::string table_name;        // catalog scans; empty when `bound` is set
+  const Table* bound = nullptr;  // externally-owned base table (solver, vcg)
+  std::string alias;             // non-empty: columns read as "alias.name"
+
+  // -- kSelect ----------------------------------------------------------------
+  std::optional<Expr> predicate;
+
+  // -- kProject (projection list) / kIndexLookup (key columns) ---------------
+  std::vector<std::string> columns;  // names in this node's schema
+  bool distinct = false;             // kProject
+
+  // -- kIndexLookup -----------------------------------------------------------
+  std::vector<Value> key_values;  // parallel to `columns`
+
+  // -- kHashJoin --------------------------------------------------------------
+  std::vector<std::string> left_keys;   // names in children[0]'s schema
+  std::vector<std::string> right_keys;  // names in children[1]'s schema
+
+  // -- kSort ------------------------------------------------------------------
+  std::vector<std::string> order_by;
+
+  // -- kLimit -----------------------------------------------------------------
+  std::size_t limit = kNoLimit;
+
+  std::vector<PlanPtr> children;
+
+  /// Cardinality estimate (optimizer) and observed output rows (executor),
+  /// rendered side by side by EXPLAIN.
+  double est_rows = 0.0;
+  std::size_t actual_rows = kNotExecuted;
+
+  [[nodiscard]] PlanNode& child(std::size_t i = 0) { return *children[i]; }
+  [[nodiscard]] const PlanNode& child(std::size_t i = 0) const {
+    return *children[i];
+  }
+
+  [[nodiscard]] bool is_scan() const noexcept { return kind == Kind::kScan; }
+
+  /// One-line operator description (no row counts), e.g.
+  /// `HashJoin (a.memmsg = b.inmsg)` or `IndexLookup D (dirst = "MESI")`.
+  [[nodiscard]] std::string label() const;
+};
+
+[[nodiscard]] PlanPtr make_node(PlanNode::Kind kind);
+
+/// Returns "Scan", "HashJoin", ... for tests and diagnostics.
+[[nodiscard]] std::string_view to_string(PlanNode::Kind kind) noexcept;
+
+/// The schema of a base table viewed through a FROM alias: every column
+/// renamed to "alias.name" (kinds preserved).  The base schema when `alias`
+/// is empty.
+[[nodiscard]] SchemaPtr scan_schema(const Schema& base,
+                                    const std::string& alias);
+
+}  // namespace ccsql::plan

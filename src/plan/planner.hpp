@@ -1,0 +1,56 @@
+#pragma once
+
+// Planner facade: parse tree -> plan -> optimized plan -> result, plus the
+// process-wide enable switch every SQL-consuming layer honours (the CLI's
+// --no-planner flag and the CCSQL_NO_PLANNER environment variable flip it
+// off, falling back to Catalog::run_naive everywhere).
+
+#include <string>
+#include <string_view>
+
+#include "plan/executor.hpp"
+#include "plan/ir.hpp"
+#include "plan/optimizer.hpp"
+#include "relational/query.hpp"
+
+namespace ccsql::plan {
+
+/// True (the default) when SQL entry points should plan + optimize instead
+/// of running naively.  Initialised from the environment on first query:
+/// CCSQL_NO_PLANNER=1 starts it off.
+[[nodiscard]] bool planner_enabled();
+void set_planner_enabled(bool enabled);
+
+/// Builds the naive plan for `stmt`: scans crossed left-to-right, then the
+/// WHERE filter, then count/distinct/projection, union branches, ORDER BY.
+[[nodiscard]] PlanPtr build_plan(const Catalog& db, const SelectStmt& stmt);
+
+/// build_plan + optimize.
+[[nodiscard]] PlanPtr plan_select(const Catalog& db, const SelectStmt& stmt,
+                                  const PlannerOptions& opts = {});
+
+/// Plans and executes `stmt` against `db`.
+[[nodiscard]] Table run_select(const Catalog& db, const SelectStmt& stmt,
+                               const PlannerOptions& opts = {});
+
+/// Emptiness check for `stmt` in exists mode: stops at the first row.
+[[nodiscard]] bool is_empty(const Catalog& db, const SelectStmt& stmt);
+
+/// Plans and runs `select(pred, cross(left, right))` over two free-standing
+/// tables — the solver's incremental-generation step.  `ident_schema`
+/// decides which bare identifiers in `pred` are columns (the solver passes
+/// the full target schema so constraints resolve identically at every
+/// prefix width).
+[[nodiscard]] Table cross_select(const Table& left, const Table& right,
+                                 const Expr& pred, const Schema& ident_schema,
+                                 const FunctionRegistry* functions = nullptr);
+
+/// Plans, executes, and renders `stmt` with estimated vs actual row counts
+/// (see explain.hpp for the format).
+[[nodiscard]] std::string explain(const Catalog& db, const SelectStmt& stmt,
+                                  const PlannerOptions& opts = {});
+[[nodiscard]] std::string explain_sql(const Catalog& db,
+                                      std::string_view select_text,
+                                      const PlannerOptions& opts = {});
+
+}  // namespace ccsql::plan

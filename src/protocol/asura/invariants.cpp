@@ -537,6 +537,25 @@ void add_invariants(ProtocolSpec& p) {
       "State-communication requests are answered immediately.",
       "[Select inmsg, outmsg from INT where inmsg = \"sstate\" and "
       "not outmsg = \"astate\"] = empty");
+
+  // ---- Cross-controller handshakes -----------------------------------------------------------
+  // Messages the directory sends to home memory joined against the memory
+  // controller's handling of them: every emitted request must be answered
+  // with the matching response.
+
+  inv(p, "mem-wb-reaches-completion",
+      "A directory writeback accepted by home memory completes the "
+      "transaction.",
+      "[Select a.memmsg, b.inmsg, b.outmsg from D a, M b "
+      "where a.memmsg = b.inmsg and a.memmsg = \"wb\" and "
+      "not b.outmsg = \"compl\"] = empty");
+
+  inv(p, "mem-read-returns-data",
+      "A directory memory read is served with data from a memory read "
+      "operation.",
+      "[Select a.memmsg, b.outmsg, b.memop from D a, M b "
+      "where a.memmsg = b.inmsg and a.memmsg = \"mread\" and "
+      "(not b.outmsg = \"data\" or not b.memop = rd)] = empty");
 }
 
 }  // namespace ccsql::asura::detail

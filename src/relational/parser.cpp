@@ -52,7 +52,8 @@ class Parser {
       while (accept(TokenKind::kComma)) s.columns.push_back(ident("column"));
     }
     expect_keyword("from");
-    s.table = ident("table name");
+    s.from.push_back(table_ref());
+    while (accept(TokenKind::kComma)) s.from.push_back(table_ref());
     if (accept_keyword("where")) s.where = expr();
     if (accept_keyword("order")) {
       expect_keyword("by");
@@ -235,6 +236,17 @@ class Parser {
     return false;
   }
 
+  TableRef table_ref() {
+    TableRef ref;
+    ref.table = ident("table name");
+    // An optional alias: any identifier that is not a statement keyword
+    // (`from D a, D b` — but `from D where ...` keeps `where` a keyword).
+    if (peek_is(TokenKind::kIdent) && !is_keyword(cur().text)) {
+      ref.alias = ident("table alias");
+    }
+    return ref;
+  }
+
   std::string ident(const char* what) {
     if (!peek_is(TokenKind::kIdent)) {
       throw ParseError(std::string("expected ") + what + " at offset " +
@@ -313,7 +325,12 @@ std::string SelectStmt::to_string() const {
       s += columns[i];
     }
   }
-  s += " from " + table;
+  s += " from ";
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += from[i].table;
+    if (!from[i].alias.empty()) s += " " + from[i].alias;
+  }
   if (where) s += " where " + where->to_string();
   if (!order_by.empty()) {
     s += " order by ";

@@ -9,20 +9,33 @@
 
 namespace ccsql {
 
+/// One entry of a FROM list: a table name with an optional alias.  When an
+/// alias is given every column of the table is visible as `alias.column`
+/// (the paper's pairwise dependency joins use this to join a table with a
+/// copy of itself); without an alias columns keep their bare names.
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty = no alias
+
+  friend bool operator==(const TableRef&, const TableRef&) = default;
+};
+
 /// A parsed SELECT:
 ///
 ///   SELECT [DISTINCT] cols | * | COUNT(*)
-///     FROM table [WHERE expr] [ORDER BY cols]
+///     FROM table [alias] (, table [alias])* [WHERE expr] [ORDER BY cols]
 ///     [UNION select ...]
 ///
-/// UNION branches are chained through `union_with` (set semantics, as in
-/// the paper's "union of all the pairwise dependency tables").
+/// A multi-table FROM denotes the cross product of its entries in order
+/// (the planner lowers cross + equality predicates to hash joins).  UNION
+/// branches are chained through `union_with` (set semantics, as in the
+/// paper's "union of all the pairwise dependency tables").
 struct SelectStmt {
   bool distinct = false;
   bool star = false;
   bool count_star = false;           // SELECT COUNT(*) ...
   std::vector<std::string> columns;  // empty iff star / count_star
-  std::string table;
+  std::vector<TableRef> from;        // at least one entry once parsed
   std::optional<Expr> where;
   std::vector<std::string> order_by;
   std::vector<SelectStmt> union_with;

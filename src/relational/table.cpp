@@ -62,6 +62,7 @@ void Table::append(RowView row) {
     throw SchemaError("append: row arity " + std::to_string(row.size()) +
                       " != schema arity " + std::to_string(width()));
   }
+  invalidate_indexes();
   if (width() == 0) {
     ++unit_rows_;
     return;
@@ -167,6 +168,7 @@ void Table::check_same_names(const Table& other) const {
 Table Table::union_all(const Table& a, const Table& b) {
   a.check_same_names(b);
   Table out = a;
+  out.invalidate_indexes();
   if (out.width() == 0) {
     out.unit_rows_ += b.unit_rows_;
     return out;
@@ -309,6 +311,52 @@ Table Table::sorted_by(const std::vector<std::string>& columns) const {
   out.reserve_rows(row_count());
   for (std::size_t i : order) out.append(row(i));
   return out;
+}
+
+std::string Table::index_key(RowView row, std::span<const std::size_t> cols) {
+  std::string k;
+  for (std::size_t c : cols) {
+    k += std::to_string(row[c].id());
+    k += ',';
+  }
+  return k;
+}
+
+std::string Table::index_key(std::span<const Value> key) {
+  std::string k;
+  for (Value v : key) {
+    k += std::to_string(v.id());
+    k += ',';
+  }
+  return k;
+}
+
+const Table::IndexMap& Table::index_on(
+    const std::vector<std::string>& columns) const {
+  std::vector<std::size_t> idx;
+  idx.reserve(columns.size());
+  for (const auto& name : columns) idx.push_back(schema_->index_of(name));
+  return index_on(idx);
+}
+
+const Table::IndexMap& Table::index_on(
+    const std::vector<std::size_t>& columns) const {
+  if (!index_cache_) {
+    index_cache_ =
+        std::make_shared<std::map<std::vector<std::size_t>, IndexMap>>();
+  }
+  auto it = index_cache_->find(columns);
+  if (it != index_cache_->end()) return it->second;
+  IndexMap m;
+  m.reserve(row_count());
+  for (std::size_t i = 0; i < row_count(); ++i) {
+    m[index_key(row(i), columns)].push_back(i);
+  }
+  return index_cache_->emplace(columns, std::move(m)).first->second;
+}
+
+bool Table::has_cached_index(const std::vector<std::size_t>& columns) const {
+  return index_cache_ && index_cache_->count(columns) > 0;
 }
 
 Table Table::sorted() const {

@@ -3,9 +3,12 @@
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
+#include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "relational/schema.hpp"
@@ -125,6 +128,28 @@ class Table {
   /// Rows sorted by the given columns' textual values (SQL ORDER BY).
   [[nodiscard]] Table sorted_by(const std::vector<std::string>& columns) const;
 
+  // ---- Secondary indexes ---------------------------------------------------
+
+  /// A hash index over a column set: key tuple (encoded by index_key) to the
+  /// row indices holding it, in table order.
+  using IndexMap = std::unordered_map<std::string, std::vector<std::size_t>>;
+
+  /// Encodes the given cells of a row as an index probe key.
+  static std::string index_key(RowView row, std::span<const std::size_t> cols);
+  /// Encodes an explicit key tuple (same format as the row overload).
+  static std::string index_key(std::span<const Value> key);
+
+  /// Lazily-built secondary index keyed by the named columns.  Built on
+  /// first use and cached on the table (appending invalidates the cache);
+  /// copies of a table share the already-built indexes.  Used by the query
+  /// planner for point-lookup selects and hash-join build sides.
+  const IndexMap& index_on(const std::vector<std::string>& columns) const;
+  const IndexMap& index_on(const std::vector<std::size_t>& columns) const;
+
+  /// True if index_on(columns) has already been built (observability).
+  [[nodiscard]] bool has_cached_index(
+      const std::vector<std::size_t>& columns) const;
+
  private:
   [[nodiscard]] std::size_t width() const noexcept {
     // A 0-column table still needs a nonzero stride of 0 handled specially;
@@ -134,10 +159,22 @@ class Table {
 
   void check_same_names(const Table& other) const;
 
+  /// Drops the index cache before a mutation.  A copy sharing the cache
+  /// keeps the old (still valid for its rows) indexes; this table starts
+  /// a fresh cache on next use.
+  void invalidate_indexes() noexcept {
+    if (index_cache_) index_cache_.reset();
+  }
+
   SchemaPtr schema_;
   std::vector<Value> data_;
   // Number of rows when width()==0 (data_ cannot encode them).
   std::size_t unit_rows_ = 0;
+  // Secondary indexes by column-index set, built lazily.  Shared between
+  // copies (rows are identical until one of them mutates, which resets only
+  // that copy's pointer).
+  mutable std::shared_ptr<std::map<std::vector<std::size_t>, IndexMap>>
+      index_cache_;
 };
 
 }  // namespace ccsql

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/obs.hpp"
+#include "plan/planner.hpp"
 #include "relational/error.hpp"
 #include "relational/expr.hpp"
 
@@ -89,20 +90,21 @@ Table generate_incremental(const GenerationInput& input,
     const std::string& col = full.column(ci).name;
     CCSQL_SPAN(col_span, "solver.column", "solver");
     col_span.arg("column", col);
-    cur = Table::cross(cur, domain_table(domain_for(input, col), full));
+    Table dom = domain_table(domain_for(input, col), full);
 
     IncrementalTrace::Step step;
     step.column = col;
-    step.rows_before_filter = cur.row_count();
+    step.rows_before_filter = cur.row_count() * dom.row_count();
 
-    // Conjoin every pending constraint that is now fully bound.
+    // Every pending constraint that becomes fully bound once `col` joins
+    // the prefix is conjoined into this step's filter.
     std::vector<Expr> ready;
     for (std::size_t k = 0; k < input.constraints.size(); ++k) {
       if (applied[k]) continue;
       bool bound = true;
       for (const auto& ref :
            input.constraints[k].expr.referenced_columns(full)) {
-        if (!cur.schema().has(ref)) {
+        if (!cur.schema().has(ref) && ref != col) {
           bound = false;
           break;
         }
@@ -113,10 +115,14 @@ Table generate_incremental(const GenerationInput& input,
         step.constraints_applied.push_back(input.constraints[k].column);
       }
     }
-    if (!ready.empty()) {
-      CompiledExpr pred = compile(Expr::conjunction(std::move(ready)),
-                                  cur.schema(), full, input.functions);
-      cur = cur.select(pred.predicate());
+    if (ready.empty()) {
+      cur = Table::cross(cur, dom);
+    } else {
+      // The planner pushes single-side conjuncts below the cross and turns
+      // prefix-column = new-column equalities into a hash join, so the
+      // unconstrained product is never materialised.
+      cur = plan::cross_select(cur, dom, Expr::conjunction(std::move(ready)),
+                               full, input.functions);
     }
     col_span.arg("rows_before", step.rows_before_filter);
     col_span.arg("rows_after", cur.row_count());

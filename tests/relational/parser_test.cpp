@@ -75,7 +75,9 @@ TEST(ParseSelect, Basic) {
   EXPECT_FALSE(s.distinct);
   EXPECT_FALSE(s.star);
   EXPECT_EQ(s.columns, (std::vector<std::string>{"dirst", "dirpv"}));
-  EXPECT_EQ(s.table, "D");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "D");
+  EXPECT_TRUE(s.from[0].alias.empty());
   ASSERT_TRUE(s.where.has_value());
   EXPECT_EQ(s.where->op(), Expr::Op::kCompare);
 }
@@ -84,7 +86,8 @@ TEST(ParseSelect, DistinctStarNoWhere) {
   SelectStmt s = parse_select("select distinct * from ED");
   EXPECT_TRUE(s.distinct);
   EXPECT_TRUE(s.star);
-  EXPECT_EQ(s.table, "ED");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "ED");
   EXPECT_FALSE(s.where.has_value());
 }
 
@@ -100,6 +103,25 @@ TEST(ParseSelect, PaperImplementationTableQuery) {
   EXPECT_EQ(s.where->op(), Expr::Op::kCall);
 }
 
+TEST(ParseSelect, MultiTableFromWithAliases) {
+  SelectStmt s = parse_select(
+      "select a.memmsg, b.inmsg from D a, M b where a.memmsg = b.inmsg");
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0], (TableRef{"D", "a"}));
+  EXPECT_EQ(s.from[1], (TableRef{"M", "b"}));
+  ASSERT_TRUE(s.where.has_value());
+  EXPECT_EQ(s.to_string(),
+            "select a.memmsg, b.inmsg from D a, M b where a.memmsg = b.inmsg");
+}
+
+TEST(ParseSelect, FromListWithoutAliases) {
+  SelectStmt s = parse_select("select * from D, M order by x");
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0], (TableRef{"D", ""}));
+  EXPECT_EQ(s.from[1], (TableRef{"M", ""}));
+  EXPECT_EQ(s.order_by, (std::vector<std::string>{"x"}));
+}
+
 TEST(ParseSelect, RejectsMalformed) {
   EXPECT_THROW(parse_select("select from D"), ParseError);
   EXPECT_THROW(parse_select("select a b from D"), ParseError);
@@ -112,7 +134,8 @@ TEST(ParseInvariant, SingleBracketedEmptiness) {
       "[Select dirst, dirpv from D where dirst = \"MESI\" and "
       "not dirpv = \"one\"] = empty");
   ASSERT_EQ(checks.size(), 1u);
-  EXPECT_EQ(checks[0].table, "D");
+  ASSERT_EQ(checks[0].from.size(), 1u);
+  EXPECT_EQ(checks[0].from[0].table, "D");
 }
 
 TEST(ParseInvariant, ConjunctionOfChecks) {
@@ -129,7 +152,7 @@ TEST(ParseInvariant, ConjunctionOfChecks) {
 TEST(ParseInvariant, BareSelectAccepted) {
   auto checks = parse_invariant("select a from T");
   ASSERT_EQ(checks.size(), 1u);
-  EXPECT_EQ(checks[0].table, "T");
+  EXPECT_EQ(checks[0].from[0].table, "T");
 }
 
 TEST(ParseInvariant, RejectsTrailingGarbage) {
