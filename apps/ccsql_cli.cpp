@@ -21,8 +21,13 @@
 //   --metrics                  collect + print the metrics summary
 //   --no-planner               run every query through the naive executor
 //                              (CCSQL_NO_PLANNER=1 does the same)
-// CCSQL_TRACE / CCSQL_TRACE_FORMAT / CCSQL_METRICS=1 in the environment do
-// the same.
+//   --jobs N                   parallel lanes for query execution, the
+//                              invariant suite, and VCG composition
+//                              (CCSQL_JOBS=N does the same; default:
+//                              hardware concurrency).  Results are
+//                              identical at any N.
+// CCSQL_TRACE / CCSQL_TRACE_FORMAT / CCSQL_METRICS=1 / CCSQL_JOBS in the
+// environment do the same.
 //
 // All commands operate on the built-in ASURA reconstruction.
 #include <cstring>
@@ -31,14 +36,15 @@
 #include <string>
 #include <vector>
 
+#include "ccsql.hpp"
 #include "checks/lint.hpp"
 #include "checks/reach.hpp"
 #include "core/flow.hpp"
+#include "core/pool.hpp"
 #include "mapping/codegen.hpp"
 #include "obs/obs.hpp"
 #include "plan/planner.hpp"
 #include "protocol/asura/asura.hpp"
-#include "relational/format.hpp"
 #include "sim/machine.hpp"
 
 namespace {
@@ -85,12 +91,12 @@ int usage() {
          "  lint                     specification hygiene advisories\n"
          "  flow                     full push-button report\n"
          "global flags: --trace FILE [--trace-format text|jsonl|chrome] "
-         "--metrics --no-planner\n";
+         "--metrics --no-planner --jobs N\n";
   return 2;
 }
 
 int cmd_tables(const ProtocolSpec& spec, const Args& args) {
-  const Catalog& db = spec.database();
+  const Database& db = spec.database();
   if (!args.positional.empty()) {
     const Table& t = db.get(args.positional[0]);
     std::cout << (args.has("--csv") ? to_csv(t) : to_ascii(t));
@@ -107,12 +113,8 @@ int cmd_tables(const ProtocolSpec& spec, const Args& args) {
 
 int cmd_sql(const ProtocolSpec& spec, const Args& args) {
   if (args.positional.empty()) return usage();
-  // A private mutable copy of the database so CREATE/INSERT/DROP work.
-  Catalog db;
-  for (const auto& [name, table] : spec.database().tables()) {
-    db.put(name, table);
-  }
-  db.functions() = spec.database().functions();
+  // A private mutable copy of the session so CREATE/INSERT/DROP work.
+  Database db = spec.database();
   std::stringstream statements(args.positional[0]);
   std::string stmt;
   while (std::getline(statements, stmt, ';')) {
@@ -125,7 +127,7 @@ int cmd_sql(const ProtocolSpec& spec, const Args& args) {
 
 int cmd_explain(const ProtocolSpec& spec, const Args& args) {
   if (args.positional.empty()) return usage();
-  std::cout << plan::explain_sql(spec.database(), args.positional[0]);
+  std::cout << spec.database().explain(args.positional[0]).plan;
   return 0;
 }
 
@@ -288,6 +290,15 @@ int configure_observability(const Args& args) {
   }
   if (args.has("--metrics")) tracer.enable_metrics();
   if (args.has("--no-planner")) plan::set_planner_enabled(false);
+  if (args.has("--jobs")) {
+    const int jobs = args.value_of("--jobs", 0);
+    if (jobs < 1) {
+      std::cerr << "error: --jobs needs a positive thread count\n";
+      return 2;
+    }
+    // Before any parallel region, so the global pool is sized to match.
+    core::Pool::set_default_jobs(static_cast<std::size_t>(jobs));
+  }
   return 0;
 }
 

@@ -101,7 +101,7 @@ BENCHMARK(BM_IncrementalReversedOrder)->DenseRange(4, 10, 2)
 void BM_FullProtocolGeneration(benchmark::State& state) {
   for (auto _ : state) {
     auto spec = asura::make_asura();
-    const Catalog& db = spec->database();
+    const Catalog& db = spec->database().catalog();
     benchmark::DoNotOptimize(db.size());
   }
 }

@@ -40,7 +40,7 @@ void BM_SingleInvariant(benchmark::State& state) {
 BENCHMARK(BM_SingleInvariant)->Unit(benchmark::kMicrosecond);
 
 void BM_SqlSelectOverD(benchmark::State& state) {
-  const Catalog& db = asura_spec().database();
+  const Catalog& db = asura_spec().database().catalog();
   for (auto _ : state) {
     Table t = db.query(
         "select inmsg, bdirst, locmsg from D where isrequest(inmsg) and "
@@ -63,11 +63,7 @@ BENCHMARK(BM_SqlParseInvariant)->Unit(benchmark::kMicrosecond);
 /// failing path materialises violating rows).
 void BM_SuiteWithInjectedViolation(benchmark::State& state) {
   const ProtocolSpec& spec = asura_spec();
-  Catalog db;
-  for (const auto& [name, table] : spec.database().tables()) {
-    db.put(name, table);
-  }
-  db.functions() = spec.database().functions();
+  Database db = spec.database();
   Table d = db.get("D");
   std::vector<Value> row(d.row(0).begin(), d.row(0).end());
   row[d.schema().index_of("dirst")] = V("MESI");

@@ -7,9 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "plan/planner.hpp"
+#include "relational/database.hpp"
 #include "relational/query.hpp"
 
 namespace {
@@ -39,7 +43,7 @@ constexpr const char* kPointSql =
     "not dirpv = \"one\"";
 
 void run_shape(benchmark::State& state, const char* sql, bool planned) {
-  const Catalog& db = asura_spec().database();
+  const Catalog& db = asura_spec().database().catalog();
   SelectStmt stmt = parse_select(sql);
   std::size_t rows = 0;
   for (auto _ : state) {
@@ -78,7 +82,7 @@ BENCHMARK(BM_PointLookupPlanned)->Unit(benchmark::kMicrosecond);
 // Emptiness is the invariant checker's fast path: the planner stops at the
 // first row (Limit 1); the naive check materialises the whole result.
 void BM_ExistsNaive(benchmark::State& state) {
-  const Catalog& db = asura_spec().database();
+  const Catalog& db = asura_spec().database().catalog();
   SelectStmt stmt = parse_select(kSelfJoinSql);
   for (auto _ : state) {
     bool empty = db.run_naive(stmt).row_count() == 0;
@@ -86,7 +90,7 @@ void BM_ExistsNaive(benchmark::State& state) {
   }
 }
 void BM_ExistsPlanned(benchmark::State& state) {
-  const Catalog& db = asura_spec().database();
+  const Catalog& db = asura_spec().database().catalog();
   SelectStmt stmt = parse_select(kSelfJoinSql);
   for (auto _ : state) {
     bool empty = plan::is_empty(db, stmt);
@@ -95,6 +99,67 @@ void BM_ExistsPlanned(benchmark::State& state) {
 }
 BENCHMARK(BM_ExistsNaive)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ExistsPlanned)->Unit(benchmark::kMicrosecond);
+
+// ---- morsel-driven parallel execution --------------------------------------
+//
+// The ASURA tables are a few hundred rows — below the 2048-row parallel
+// threshold — so the parallel operators are exercised on a seeded synthetic
+// workload sized like a generated implementation table.  Identical output
+// at every jobs value is enforced by tests/plan/parallel_property_test.cpp;
+// here only the wall clock varies.
+
+Database big_db() {
+  std::mt19937 rng(2026);
+  auto randcol = [&](std::size_t n) { return "v" + std::to_string(rng() % n); };
+  Catalog cat;
+  Table l(Schema::of({"k", "p", "q"}));
+  l.reserve_rows(200'000);
+  for (std::size_t i = 0; i < 200'000; ++i) {
+    l.append_texts({randcol(4096), randcol(8), randcol(8)});
+  }
+  cat.put("L", std::move(l));
+  Table r(Schema::of({"k", "r"}));
+  r.reserve_rows(50'000);
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    r.append_texts({randcol(4096), randcol(8)});
+  }
+  cat.put("R", std::move(r));
+  return Database(std::move(cat));
+}
+
+void run_parallel_shape(benchmark::State& state, const char* sql) {
+  static Database db = big_db();
+  db.set_planner(true).set_jobs(static_cast<std::size_t>(state.range(0)));
+  SelectStmt stmt = parse_select(sql);
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    QueryResult qr = db.query(stmt);
+    rows = qr.row_count();
+    benchmark::DoNotOptimize(qr);
+  }
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_BigFilterParallel(benchmark::State& state) {
+  run_parallel_shape(state, "select k, p from L where p = v3 and q = v5");
+}
+BENCHMARK(BM_BigFilterParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BigJoinParallel(benchmark::State& state) {
+  run_parallel_shape(state,
+                     "select a.p, b.r from L a, R b where a.k = b.k "
+                     "and a.p = v0 and b.r = v1");
+}
+BENCHMARK(BM_BigJoinParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BigCountParallel(benchmark::State& state) {
+  run_parallel_shape(state, "select count(*) from L where p = v3");
+}
+BENCHMARK(BM_BigCountParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

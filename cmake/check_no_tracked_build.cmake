@@ -1,0 +1,18 @@
+# Guard script run as a ctest: fails when any file under a build tree is
+# tracked by git.  Build trees are generated artifacts; committing one
+# bloats the repo and breaks out-of-source configure on other machines.
+# Expects -DGIT_EXECUTABLE=... -DREPO_DIR=...
+execute_process(
+  COMMAND "${GIT_EXECUTABLE}" -C "${REPO_DIR}" ls-files "build/" "build-*/"
+  OUTPUT_VARIABLE tracked
+  RESULT_VARIABLE status
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT status EQUAL 0)
+  # Not a git checkout (e.g. a source tarball): nothing to guard.
+  return()
+endif()
+if(NOT tracked STREQUAL "")
+  message(FATAL_ERROR
+    "build tree files are tracked by git (add them to .gitignore and "
+    "`git rm --cached` them):\n${tracked}")
+endif()

@@ -7,13 +7,14 @@
 #include <iostream>
 
 #include "protocol/asura/asura.hpp"
+#include "relational/database.hpp"
 #include "relational/format.hpp"
 
 using namespace ccsql;
 
 int main() {
   auto spec = asura::make_asura();
-  const Catalog& db = spec->database();
+  const Catalog& db = spec->database().catalog();
 
   std::cout << "=== Figure 1: protocol messages (" << spec->messages().size()
             << " types) ===\n"
@@ -28,7 +29,7 @@ int main() {
                "remote --idone--> D, memory --data--> D (either order)\n"
                "  D --compl,data--> local; ownership transfers (MESI)\n\n";
 
-  Catalog cat;
+  Database cat;
   cat.put("D", db.get(asura::kDirectory));
   cat.functions() = db.functions();
 
@@ -47,7 +48,7 @@ int main() {
   };
   for (const char* q : queries) {
     std::cout << "SQL: " << q << "\n"
-              << to_ascii(cat.query(q)) << "\n";
+              << to_ascii(cat.query(q).rows) << "\n";
   }
 
   const Table& d = db.get(asura::kDirectory);

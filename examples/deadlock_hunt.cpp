@@ -11,13 +11,14 @@
 
 #include "checks/vcg.hpp"
 #include "protocol/asura/asura.hpp"
+#include "relational/database.hpp"
 #include "relational/format.hpp"
 
 using namespace ccsql;
 
 int main() {
   auto spec = asura::make_asura();
-  const Catalog& db = spec->database();
+  const Catalog& db = spec->database().catalog();
 
   std::vector<ControllerTableRef> tables;
   for (const auto& c : spec->controllers()) {
@@ -37,14 +38,15 @@ int main() {
   // The paper's R3 row, recovered by SQL over the protocol dependency
   // table of V5.
   DeadlockAnalysis v5(tables, spec->assignment(asura::kAssignV5));
-  Catalog cat;
+  Database cat;
   cat.put("PDT", v5.protocol_dependency_table());
   std::cout << "=== the Figure 4 composed dependency (paper's row R3) ===\n"
             << "SQL: select * from PDT where m1 = wb and v1 = VC4 and "
                "m2 = mread and v2 = VC4\n"
             << to_ascii(cat.query(
-                   "select * from PDT where m1 = wb and v1 = \"VC4\" and "
-                   "m2 = mread and v2 = \"VC4\""))
+                             "select * from PDT where m1 = wb and v1 = "
+                             "\"VC4\" and m2 = mread and v2 = \"VC4\"")
+                            .rows)
             << "\n";
   return 0;
 }

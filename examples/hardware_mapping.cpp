@@ -12,6 +12,7 @@
 #include "mapping/asura_map.hpp"
 #include "mapping/codegen.hpp"
 #include "protocol/asura/asura.hpp"
+#include "relational/database.hpp"
 #include "relational/format.hpp"
 
 using namespace ccsql;
@@ -27,21 +28,22 @@ int main() {
   std::cout << "ED: " << ed.row_count() << " rows x " << ed.column_count()
             << " cols (adds Qstatus, Dqstatus, Fdback, Dfdback)\n\n";
 
-  Catalog cat;
+  Database cat;
   cat.put("ED", ed);
   cat.functions() = spec->database().functions();
   std::cout << "Sample of the implementation behaviour (full output queues "
                "retry a request):\n"
-            << to_ascii(cat.query(
-                   "select inmsg, dirst, Qstatus, locmsg, memmsg, cmpl "
-                   "from ED where inmsg = readex and Qstatus = Full"),
-                   6)
+            << to_ascii(cat.query("select inmsg, dirst, Qstatus, locmsg, "
+                                  "memmsg, cmpl from ED where inmsg = readex "
+                                  "and Qstatus = Full")
+                            .rows,
+                        6)
             << "\n";
   std::cout << "Deferred directory updates ship as Dfdback:\n"
-            << to_ascii(cat.query(
-                   "select inmsg, bdirst, Dqstatus, dirupd, Fdback from ED "
-                   "where Fdback = Dfdback"),
-                   6)
+            << to_ascii(cat.query("select inmsg, bdirst, Dqstatus, dirupd, "
+                                  "Fdback from ED where Fdback = Dfdback")
+                            .rows,
+                        6)
             << "\n";
 
   auto parts = mapping::partition_directory(ed, spec->database().functions());

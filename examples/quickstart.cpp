@@ -9,10 +9,7 @@
 //               ./build/examples/quickstart
 #include <iostream>
 
-#include "checks/invariant.hpp"
-#include "checks/vcg.hpp"
-#include "protocol/protocol_spec.hpp"
-#include "relational/format.hpp"
+#include "ccsql.hpp"
 
 using namespace ccsql;
 
@@ -65,13 +62,14 @@ int main() {
        "[select inmsg, outmsg from LOCK where inmsg = acquire and "
        "outmsg = NULL] = empty"});
 
-  // 4. Generate and inspect.
-  const Catalog& db = p.database();
+  // 4. Generate and inspect through the session facade.
+  const Database& db = p.database();
   std::cout << "Generated LOCK controller table:\n"
             << to_ascii(db.get("LOCK")) << "\n";
 
   std::cout << "SQL: select * from LOCK where outmsg = queued\n"
-            << to_ascii(db.query("select * from LOCK where outmsg = queued"))
+            << to_ascii(
+                   db.query("select * from LOCK where outmsg = queued").rows)
             << "\n";
 
   InvariantChecker checker(db);

@@ -3,8 +3,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "core/pool.hpp"
 #include "obs/obs.hpp"
-#include "plan/planner.hpp"
 #include "relational/format.hpp"
 #include "relational/parser.hpp"
 
@@ -21,8 +21,8 @@ InvariantResult InvariantChecker::check(const NamedInvariant& inv) const {
     // Fast path: probe emptiness in exists mode (Limit 1) — the common
     // all-invariants-hold run never materialises a full result.  Only a
     // violated check is re-run in full, for complete witness reporting.
-    if (plan::planner_enabled() && plan::is_empty(*db_, stmt)) continue;
-    Table rows = db_->run(stmt);
+    if (db_->check_empty(stmt)) continue;
+    Table rows = db_->query(stmt).rows;
     if (rows.row_count() != 0) {
       result.holds = false;
       result.violations.push_back(std::move(rows));
@@ -42,9 +42,18 @@ std::vector<InvariantResult> InvariantChecker::check_all(
     const std::vector<NamedInvariant>& suite) const {
   CCSQL_SPAN(span, "invariant.suite", "checks");
   span.arg("invariants", suite.size());
-  std::vector<InvariantResult> out;
-  out.reserve(suite.size());
-  for (const auto& inv : suite) out.push_back(check(inv));
+  const std::size_t jobs = db_->jobs();
+  span.arg("jobs", static_cast<std::uint64_t>(jobs));
+  std::vector<InvariantResult> out(suite.size());
+  if (jobs > 1 && suite.size() > 1) {
+    // One pool task per invariant, each writing its own slot: the report
+    // order (suite order) and every verdict are independent of scheduling.
+    core::Pool::global().parallel_tasks(
+        suite.size(), jobs,
+        [&](std::size_t i) { out[i] = check(suite[i]); });
+  } else {
+    for (std::size_t i = 0; i < suite.size(); ++i) out[i] = check(suite[i]);
+  }
   return out;
 }
 

@@ -19,17 +19,20 @@ struct InvariantResult {
   double micros = 0.0;
 };
 
-/// Runs named SQL invariants against a catalog of controller tables
-/// (paper, section 4.3).
+/// Runs named SQL invariants against a protocol database (paper, section
+/// 4.3) through the Database session facade: emptiness probes in exists
+/// mode first, full materialisation only for violated checks.
 class InvariantChecker {
  public:
-  explicit InvariantChecker(const Catalog& db) : db_(&db) {}
+  explicit InvariantChecker(const Database& db) : db_(&db) {}
 
   /// Checks one invariant; never throws on violation (only on malformed
   /// SQL).
   [[nodiscard]] InvariantResult check(const NamedInvariant& inv) const;
 
-  /// Checks a whole suite.
+  /// Checks a whole suite.  With the session's jobs > 1 the invariants run
+  /// as one pool task each; results always come back in suite order, and
+  /// each verdict/witness set is identical to a serial run.
   [[nodiscard]] std::vector<InvariantResult> check_all(
       const std::vector<NamedInvariant>& suite) const;
 
@@ -52,7 +55,7 @@ class InvariantChecker {
                             bool verbose = false);
 
  private:
-  const Catalog* db_;
+  const Database* db_;
 };
 
 }  // namespace ccsql

@@ -31,7 +31,7 @@ std::string LintFinding::to_string() const {
 std::vector<LintFinding> lint(const ProtocolSpec& spec,
                               const std::vector<std::string>& sinks) {
   std::vector<LintFinding> findings;
-  const Catalog& db = spec.database();
+  const Database& db = spec.database();
 
   std::set<std::string> used_messages;   // message values seen anywhere
   std::set<std::string> consumed;        // seen in some input column

@@ -6,9 +6,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/pool.hpp"
 #include "obs/obs.hpp"
+#include "relational/database.hpp"
 #include "relational/error.hpp"
-#include "relational/query.hpp"
 
 namespace ccsql {
 
@@ -93,11 +94,17 @@ void DeadlockAnalysis::build_controller_rows(
     placements.push_back(QuadPlacement::kAllDistinct);
   }
 
-  // Deduplicate per placement: identical role-substituted rows from
-  // different table rows carry the same dependency.
-  std::unordered_set<std::string> seen;
-
-  for (QuadPlacement placement : placements) {
+  // One task per placement relation.  Dedup keys carry the placement, so
+  // cross-placement collisions cannot occur: a per-placement local seen set
+  // plus a merge in placement order produces exactly the rows (and row
+  // order) of the old single-threaded global-set loop.
+  std::vector<std::vector<DependencyRow>> per_placement(placements.size());
+  auto build_one = [&](std::size_t pi) {
+    const QuadPlacement placement = placements[pi];
+    std::vector<DependencyRow>& rows = per_placement[pi];
+    // Deduplicate per placement: identical role-substituted rows from
+    // different table rows carry the same dependency.
+    std::unordered_set<std::string> seen;
     for (const auto& ref : tables) {
       const Table& t = *ref.table;
       const Schema& schema = t.schema();
@@ -135,11 +142,23 @@ void DeadlockAnalysis::build_controller_rows(
           const std::string k =
               row.key() + std::string(to_string(placement));
           if (seen.insert(k).second) {
-            controller_rows_.push_back(std::move(row));
+            rows.push_back(std::move(row));
           }
         }
       }
     }
+  };
+  const std::size_t jobs =
+      options_.jobs != 0 ? options_.jobs : core::Pool::default_jobs();
+  if (jobs > 1 && placements.size() > 1) {
+    core::Pool::global().parallel_tasks(placements.size(), jobs, build_one);
+  } else {
+    for (std::size_t pi = 0; pi < placements.size(); ++pi) build_one(pi);
+  }
+  for (std::vector<DependencyRow>& rows : per_placement) {
+    controller_rows_.insert(controller_rows_.end(),
+                            std::make_move_iterator(rows.begin()),
+                            std::make_move_iterator(rows.end()));
   }
 }
 
@@ -157,7 +176,9 @@ void DeadlockAnalysis::compose() {
     // same placement (paper, section 4.4).  Stage both sides as tables and
     // let the query planner turn the match into a hash join; the idx
     // columns carry row provenance back out.
-    Catalog db;
+    Database db;
+    db.set_jobs(options_.jobs != 0 ? options_.jobs
+                                   : core::Pool::default_jobs());
     Table f(Schema::of({"m2", "s2", "d2", "v2", "placement", "idx"}));
     f.reserve_rows(frontier.size());
     for (std::size_t i = 0; i < frontier.size(); ++i) {
@@ -181,7 +202,9 @@ void DeadlockAnalysis::compose() {
     // Relaxed matching joins regardless of message; exactness is recorded
     // per pair below.
     if (!options_.ignore_messages) sql += " and f.m2 = p.m1";
-    const Table pairs = db.query(sql);
+    // The join probe fans out across the pool (morsel-parallel); the pair
+    // post-processing below stays serial so the global dedup is ordered.
+    const Table pairs = db.query(sql).rows;
 
     std::vector<DependencyRow> fresh;
     for (std::size_t i = 0; i < pairs.row_count(); ++i) {

@@ -58,6 +58,10 @@ struct DeadlockOptions {
   bool ignore_messages = true;  // the interleaving relaxation
   int composition_rounds = 1;   // paper used 1; footnote 2 allows more
   std::size_t max_cycles = 64;  // cap on reported simple cycles
+  /// Parallel lanes: the five placement relations build concurrently and
+  /// the composition join fans out across the pool.  0 = process default
+  /// (core::Pool::default_jobs); results are identical at any value.
+  std::size_t jobs = 0;
 };
 
 /// The SQL-based deadlock detection method of section 4.1: build the

@@ -8,6 +8,13 @@
 
 namespace ccsql::obs {
 
+namespace {
+thread_local int t_current_worker = -1;
+}  // namespace
+
+void set_current_worker(int id) noexcept { t_current_worker = id; }
+int current_worker() noexcept { return t_current_worker; }
+
 // ---- args -------------------------------------------------------------------
 
 Arg arg(std::string_view key, std::string_view value) {
@@ -235,6 +242,7 @@ Span Tracer::span(std::string_view name, std::string_view category) {
   e.name = s.name_;
   e.category = s.category_;
   e.ts_micros = s.begin_micros_;
+  e.worker = current_worker();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (sink_) {
@@ -255,6 +263,7 @@ void Tracer::end_span(Span& span) {
   e.dur_micros = e.ts_micros >= span.begin_micros_
                      ? e.ts_micros - span.begin_micros_
                      : 0;
+  e.worker = current_worker();
   e.args = std::move(span.args_);
   std::lock_guard<std::mutex> lock(mu_);
   if (sink_) {
@@ -272,6 +281,7 @@ void Tracer::instant(std::string_view name, std::string_view category,
   e.name = std::string(name);
   e.category = std::string(category);
   e.ts_micros = now_micros();
+  e.worker = current_worker();
   e.args = std::move(args);
   std::lock_guard<std::mutex> lock(mu_);
   if (sink_) {

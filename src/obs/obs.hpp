@@ -63,8 +63,16 @@ struct Event {
   std::uint64_t ts_micros = 0;   // microseconds since the tracer's epoch
   std::uint64_t dur_micros = 0;  // kEnd only
   int depth = 0;                 // span nesting depth at emission
+  int worker = -1;               // pool worker id; -1 = main / off-pool
   std::vector<Arg> args;
 };
+
+/// Tags the calling thread as pool worker `id` (-1 = not a worker).  Every
+/// event emitted from this thread then carries the id, so parallel traces
+/// stay attributable (the Chrome sink maps it to a tid lane).  Called by
+/// ccsql::core::Pool when worker threads start.
+void set_current_worker(int id) noexcept;
+[[nodiscard]] int current_worker() noexcept;
 
 // ---- sinks ------------------------------------------------------------------
 

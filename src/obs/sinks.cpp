@@ -87,6 +87,11 @@ void TextSink::write(const Event& e) {
   line += " @";
   line += std::to_string(e.ts_micros);
   line += "us";
+  if (e.worker >= 0) {
+    line += " [w";
+    line += std::to_string(e.worker);
+    line += ']';
+  }
   if (e.phase == Phase::kEnd) {
     line += " (+";
     line += std::to_string(e.dur_micros);
@@ -118,6 +123,10 @@ void JsonlSink::write(const Event& e) {
   line += json_escape(e.category);
   line += "\",\"depth\":";
   line += std::to_string(e.depth);
+  if (e.worker >= 0) {
+    line += ",\"worker\":";
+    line += std::to_string(e.worker);
+  }
   if (!e.args.empty()) {
     line += ',';
     append_args_json(line, e.args);
@@ -139,7 +148,9 @@ void ChromeSink::write(const Event& e) {
   line += static_cast<char>(e.phase);
   line += "\",\"ts\":";
   line += std::to_string(e.ts_micros);
-  line += ",\"pid\":1,\"tid\":1";
+  // Off-pool events stay on tid 1; pool worker w lands on its own lane.
+  line += ",\"pid\":1,\"tid\":";
+  line += std::to_string(e.worker >= 0 ? e.worker + 2 : 1);
   if (e.phase == Phase::kInstant) line += ",\"s\":\"t\"";
   if (e.phase == Phase::kCounter && !e.args.empty()) {
     // Chrome counter tracks chart their args directly.

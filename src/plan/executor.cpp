@@ -2,12 +2,20 @@
 
 #include <algorithm>
 
+#include "core/pool.hpp"
 #include "obs/obs.hpp"
 #include "relational/error.hpp"
 #include "relational/expr.hpp"
 
 namespace ccsql::plan {
 namespace {
+
+/// Morsel sizing for the parallel operators.  Below the threshold the
+/// fork/join overhead exceeds the work; the grain is the per-claim row
+/// chunk (fixed, so morsel boundaries — and therefore output order — are
+/// independent of the worker count).
+constexpr std::size_t kParallelRowThreshold = 2048;
+constexpr std::size_t kMorselGrain = 1024;
 
 /// First `limit` rows of `t` (t itself when it is already small enough).
 Table take(Table t, std::size_t limit) {
@@ -33,6 +41,13 @@ struct Executor {
   /// Identifier-hood schema for compiling `node`'s predicate.
   [[nodiscard]] const Schema& full_of(const PlanNode& node) const {
     return ctx.ident_schema != nullptr ? *ctx.ident_schema : *node.schema;
+  }
+
+  /// True when work over `rows` input rows should fan out across the pool.
+  /// Row-budgeted paths (exists mode / LIMIT) stay serial: their early exit
+  /// depends on production order, which parallel lanes cannot honour.
+  [[nodiscard]] bool go_parallel(std::size_t limit, std::size_t rows) const {
+    return ctx.jobs > 1 && limit == kNoLimit && rows >= kParallelRowThreshold;
   }
 
   Table exec(PlanNode& node, std::size_t limit) {  // NOLINT(misc-no-recursion)
@@ -72,6 +87,22 @@ struct Executor {
         out = hash_join(node, limit);
         break;
       case PlanNode::Kind::kUnion: {
+        if (ctx.jobs > 1 && limit == kNoLimit && node.children.size() > 1) {
+          // Branches execute concurrently (each touches only its own
+          // subtree); the distinct-merge runs in branch order afterwards,
+          // so the result matches the serial fold exactly.
+          std::vector<Table> branches(node.children.size());
+          core::Pool::global().parallel_tasks(
+              node.children.size(), ctx.jobs,
+              [&](std::size_t i) { branches[i] = exec(node.child(i), kNoLimit); });
+          Table result = std::move(branches[0]);
+          for (std::size_t i = 1; i < branches.size(); ++i) {
+            result = Table::union_distinct(
+                result, branches[i].with_schema(result.schema_ptr()));
+          }
+          out = std::move(result);
+          break;
+        }
         const std::size_t child_limit = limit == 1 ? 1 : kNoLimit;
         Table result = exec(node.child(0), child_limit);
         for (std::size_t i = 1; i < node.children.size(); ++i) {
@@ -94,6 +125,12 @@ struct Executor {
         break;
       }
       case PlanNode::Kind::kCount: {
+        if (std::size_t total = 0; fused_count(node, total)) {
+          Table counted(node.schema);
+          counted.append({Symbol::intern(std::to_string(total))});
+          out = std::move(counted);
+          break;
+        }
         Table in = exec(node.child(), kNoLimit);
         Table counted(node.schema);
         counted.append({Symbol::intern(std::to_string(in.row_count()))});
@@ -142,32 +179,89 @@ struct Executor {
     return out;
   }
 
+  /// Rows of `src` passing `pred`, in table order, as a table over `schema`.
+  /// Parallel when go_parallel(): each morsel collects its hits, morsels
+  /// concatenate in order — identical output to the serial scan.
+  Table filter(const Table& src, const SchemaPtr& schema,
+               const CompiledExpr& pred, std::size_t limit,
+               std::size_t& visited) {
+    const std::size_t n = src.row_count();
+    Table out(schema);
+    if (go_parallel(limit, n)) {
+      const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
+      std::vector<std::vector<std::size_t>> hits(morsels);
+      core::Pool::global().parallel_for(
+          n, kMorselGrain, ctx.jobs,
+          [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+            auto& h = hits[morsel];
+            for (std::size_t i = begin; i < end; ++i) {
+              if (pred.eval(src.row(i))) h.push_back(i);
+            }
+          });
+      std::size_t total = 0;
+      for (const auto& h : hits) total += h.size();
+      out.reserve_rows(total);
+      for (const auto& h : hits) {
+        for (std::size_t i : h) out.append(src.row(i));
+      }
+      visited = n;
+      return out;
+    }
+    for (std::size_t i = 0; i < n && out.row_count() < limit; ++i) {
+      ++visited;
+      RowView r = src.row(i);
+      if (pred.eval(r)) out.append(r);
+    }
+    return out;
+  }
+
   Table select(PlanNode& node, std::size_t limit) {
     CompiledExpr pred =
         compile(*node.predicate, *node.schema, full_of(node), ctx.functions);
+    std::size_t visited = 0;
     if (node.child().is_scan()) {
       // Fused path: filter base rows in place, no intermediate copy.
       const Table& base = base_of(node.child());
-      Table out(node.schema);
-      std::size_t visited = 0;
-      for (std::size_t i = 0;
-           i < base.row_count() && out.row_count() < limit; ++i) {
-        ++visited;
-        RowView r = base.row(i);
-        if (pred.eval(r)) out.append(r);
-      }
+      Table out = filter(base, node.schema, pred, limit, visited);
       node.child().actual_rows = visited;
       CCSQL_COUNT("query.rows_scanned", visited);
       return out;
     }
     Table in = exec(node.child(), kNoLimit);
-    Table out(node.schema);
-    for (std::size_t i = 0; i < in.row_count() && out.row_count() < limit;
-         ++i) {
-      RowView r = in.row(i);
-      if (pred.eval(r)) out.append(r);
+    return filter(in, node.schema, pred, limit, visited);
+  }
+
+  /// Count over Select over Scan, evaluated without materialising the
+  /// filtered rows: per-morsel counters summed in morsel order.  Returns
+  /// false (leaving `total` alone) when the shape or size does not apply;
+  /// the caller then takes the generic path.
+  bool fused_count(PlanNode& node, std::size_t& total) {
+    PlanNode& sel = node.child();
+    if (sel.kind != PlanNode::Kind::kSelect || !sel.child().is_scan()) {
+      return false;
     }
-    return out;
+    const Table& base = base_of(sel.child());
+    const std::size_t n = base.row_count();
+    if (!go_parallel(kNoLimit, n)) return false;
+    CompiledExpr pred =
+        compile(*sel.predicate, *sel.schema, full_of(sel), ctx.functions);
+    const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
+    std::vector<std::size_t> counts(morsels, 0);
+    core::Pool::global().parallel_for(
+        n, kMorselGrain, ctx.jobs,
+        [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+          std::size_t c = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (pred.eval(base.row(i))) ++c;
+          }
+          counts[morsel] = c;
+        });
+    total = 0;
+    for (std::size_t c : counts) total += c;
+    sel.actual_rows = total;
+    sel.child().actual_rows = n;
+    CCSQL_COUNT("query.rows_scanned", n);
+    return true;
   }
 
   Table hash_join(PlanNode& node, std::size_t limit) {
@@ -195,7 +289,7 @@ struct Executor {
       right_local = exec(rhs, kNoLimit);
       right = &right_local;
     }
-    const Table::IndexMap& index = right->index_on(rk);
+    const Table::IndexMap& index = right->index_on(rk, ctx.jobs);
 
     // Probe side: the left child, streamed straight off the base table when
     // it is a scan.
@@ -209,21 +303,58 @@ struct Executor {
     }
 
     Table out(node.schema);
-    std::vector<Value> tmp(node.schema->size());
     const std::size_t lw = lhs.schema->size();
+    const std::size_t w = node.schema->size();
     std::size_t visited = 0;
-    for (std::size_t i = 0;
-         i < left->row_count() && out.row_count() < limit; ++i) {
-      ++visited;
-      RowView lr = left->row(i);
-      auto it = index.find(Table::index_key(lr, lk));
-      if (it == index.end()) continue;
-      std::copy(lr.begin(), lr.end(), tmp.begin());
-      for (std::size_t j : it->second) {
-        RowView rr = right->row(j);
-        std::copy(rr.begin(), rr.end(), tmp.begin() + lw);
-        out.append(RowView(tmp));
-        if (out.row_count() >= limit) break;
+    if (go_parallel(limit, left->row_count())) {
+      // Parallel probe: each morsel emits its matches into a private flat
+      // buffer; buffers concatenate in morsel order.  Within a morsel the
+      // serial order (probe row, then index order) is preserved, so the
+      // result is row-for-row identical to the serial probe.
+      const std::size_t n = left->row_count();
+      const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
+      std::vector<std::vector<Value>> parts(morsels);
+      core::Pool::global().parallel_for(
+          n, kMorselGrain, ctx.jobs,
+          [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+            std::vector<Value>& buf = parts[morsel];
+            std::vector<Value> tmp(w);
+            for (std::size_t i = begin; i < end; ++i) {
+              RowView lr = left->row(i);
+              auto it = index.find(Table::index_key(lr, lk));
+              if (it == index.end()) continue;
+              std::copy(lr.begin(), lr.end(), tmp.begin());
+              for (std::size_t j : it->second) {
+                RowView rr = right->row(j);
+                std::copy(rr.begin(), rr.end(), tmp.begin() + lw);
+                buf.insert(buf.end(), tmp.begin(), tmp.end());
+              }
+            }
+          });
+      std::size_t total = 0;
+      for (const auto& p : parts) total += p.size() / w;
+      out.reserve_rows(total);
+      for (const auto& p : parts) {
+        for (std::size_t k = 0; k + w <= p.size(); k += w) {
+          out.append(RowView(p.data() + k, w));
+        }
+      }
+      visited = n;
+    } else {
+      std::vector<Value> tmp(w);
+      for (std::size_t i = 0;
+           i < left->row_count() && out.row_count() < limit; ++i) {
+        ++visited;
+        RowView lr = left->row(i);
+        auto it = index.find(Table::index_key(lr, lk));
+        if (it == index.end()) continue;
+        std::copy(lr.begin(), lr.end(), tmp.begin());
+        for (std::size_t j : it->second) {
+          RowView rr = right->row(j);
+          std::copy(rr.begin(), rr.end(), tmp.begin() + lw);
+          out.append(RowView(tmp));
+          if (out.row_count() >= limit) break;
+        }
       }
     }
     if (lhs.is_scan()) {

@@ -28,6 +28,12 @@ struct ExecContext {
   /// Identifier-hood schema override for predicate compilation; defaults to
   /// each node's own schema.  See PlannerOptions::ident_schema.
   const Schema* ident_schema = nullptr;
+  /// Parallel lanes for the morsel-driven operators (filter, hash-join
+  /// build/probe, union branches, count); <= 1 executes serially.  Results
+  /// are bit-identical at any value: morsel boundaries depend only on input
+  /// size, and per-morsel output is concatenated in morsel order.  Paths
+  /// with a row budget (exists mode / LIMIT) always run serially.
+  std::size_t jobs = 1;
 };
 
 /// Executes `root`, producing at most `limit` rows (kNoLimit = all).

@@ -35,6 +35,9 @@ struct PlannerOptions {
   /// passes the full target schema so partially-built rows resolve the same
   /// way as complete ones.
   const Schema* ident_schema = nullptr;
+  /// Parallel lanes for execution (copied into ExecContext::jobs by the
+  /// planner entry points); <= 1 runs serially.  Does not affect plan shape.
+  std::size_t jobs = 1;
 };
 
 /// Rewrites `root` in place according to `opts`.

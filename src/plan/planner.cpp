@@ -117,7 +117,7 @@ Table run_select(const Catalog& db, const SelectStmt& stmt,
                  const PlannerOptions& opts) {
   CCSQL_SPAN(span, "plan.query", "plan");
   PlanPtr root = plan_select(db, stmt, opts);
-  ExecContext ctx{&db, &db.functions(), opts.ident_schema};
+  ExecContext ctx{&db, &db.functions(), opts.ident_schema, opts.jobs};
   return execute(*root, ctx, opts.exists_only ? 1 : kNoLimit);
 }
 
@@ -129,7 +129,7 @@ bool is_empty(const Catalog& db, const SelectStmt& stmt) {
 
 Table cross_select(const Table& left, const Table& right, const Expr& pred,
                    const Schema& ident_schema,
-                   const FunctionRegistry* functions) {
+                   const FunctionRegistry* functions, std::size_t jobs) {
   if (!planner_enabled()) {
     Table crossed = Table::cross(left, right);
     CompiledExpr compiled =
@@ -149,14 +149,14 @@ Table cross_select(const Table& left, const Table& right, const Expr& pred,
   PlannerOptions opts;
   opts.ident_schema = &ident_schema;
   optimize(root, opts);
-  ExecContext ctx{nullptr, functions, &ident_schema};
+  ExecContext ctx{nullptr, functions, &ident_schema, jobs};
   return execute(*root, ctx);
 }
 
 std::string explain(const Catalog& db, const SelectStmt& stmt,
                     const PlannerOptions& opts) {
   PlanPtr root = plan_select(db, stmt, opts);
-  ExecContext ctx{&db, &db.functions(), opts.ident_schema};
+  ExecContext ctx{&db, &db.functions(), opts.ident_schema, opts.jobs};
   (void)execute(*root, ctx, opts.exists_only ? 1 : kNoLimit);
   return render(*root);
 }

@@ -43,7 +43,8 @@ void set_planner_enabled(bool enabled);
 /// prefix width).
 [[nodiscard]] Table cross_select(const Table& left, const Table& right,
                                  const Expr& pred, const Schema& ident_schema,
-                                 const FunctionRegistry* functions = nullptr);
+                                 const FunctionRegistry* functions = nullptr,
+                                 std::size_t jobs = 1);
 
 /// Plans, executes, and renders `stmt` with estimated vs actual row counts
 /// (see explain.hpp for the format).

@@ -37,20 +37,20 @@ const ChannelAssignment& ProtocolSpec::assignment(
 
 void ProtocolSpec::install_functions() { messages_.install(functions_); }
 
-const Catalog& ProtocolSpec::database() const {
+const Database& ProtocolSpec::database() const {
   if (!built_) {
-    catalog_ = Catalog();
+    db_ = Database();
     messages_.install(functions_);
     // Mirror the full registry (message predicates + protocol-specific
     // functions) so WHERE clauses in invariants can use all of them.
-    catalog_.functions() = functions_;
+    db_.functions() = functions_;
     for (const auto& c : controllers_) {
-      catalog_.put(c->name(), c->generate(&functions_));
+      db_.put(c->name(), c->generate(&functions_));
     }
-    catalog_.put("Messages", messages_.to_table());
+    db_.put("Messages", messages_.to_table());
     built_ = true;
   }
-  return catalog_;
+  return db_;
 }
 
 void ProtocolSpec::invalidate() {

@@ -7,7 +7,7 @@
 #include "protocol/channel_assignment.hpp"
 #include "protocol/controller_spec.hpp"
 #include "protocol/message.hpp"
-#include "relational/query.hpp"
+#include "relational/database.hpp"
 
 namespace ccsql {
 
@@ -68,11 +68,13 @@ class ProtocolSpec {
   [[nodiscard]] FunctionRegistry& functions() noexcept { return functions_; }
   void install_functions();
 
-  /// Generates every controller table (cached) and returns a catalog with
-  /// one table per controller (named by the controller), plus the message
-  /// catalog under "Messages".  The catalog's function registry mirrors this
-  /// spec's.
-  [[nodiscard]] const Catalog& database() const;
+  /// Generates every controller table (cached) and returns a query session
+  /// over a catalog with one table per controller (named by the controller),
+  /// plus the message catalog under "Messages".  The catalog's function
+  /// registry mirrors this spec's.  The session carries the process-default
+  /// planner/jobs settings; callers needing different ones copy the
+  /// Database (cheap relative to generation) and override.
+  [[nodiscard]] const Database& database() const;
 
   /// Forces regeneration on next database() call.
   void invalidate();
@@ -86,7 +88,7 @@ class ProtocolSpec {
   // Mutable: database() lazily (re)installs the message predicates.
   mutable FunctionRegistry functions_;
   mutable bool built_ = false;
-  mutable Catalog catalog_;
+  mutable Database db_;
 };
 
 }  // namespace ccsql

@@ -1,0 +1,98 @@
+#include "relational/database.hpp"
+
+#include <chrono>
+
+#include "core/pool.hpp"
+#include "obs/obs.hpp"
+#include "plan/planner.hpp"
+#include "relational/expr.hpp"
+
+namespace ccsql {
+namespace {
+
+std::uint64_t micros_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+std::size_t Database::jobs() const {
+  return jobs_ != 0 ? jobs_ : core::Pool::default_jobs();
+}
+
+bool Database::planner_on() const {
+  return use_planner_.value_or(plan::planner_enabled());
+}
+
+QueryResult Database::query(std::string_view select_text) const {
+  return query(parse_select(select_text));
+}
+
+QueryResult Database::query(const SelectStmt& stmt) const {
+  CCSQL_SPAN(span, "db.query", "relational");
+  QueryResult r;
+  r.planned = planner_on();
+  r.jobs = jobs();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (r.planned) {
+    plan::PlannerOptions opts;
+    opts.jobs = r.jobs;
+    r.rows = plan::run_select(catalog_, stmt, opts);
+  } else {
+    r.rows = catalog_.run_naive(stmt);
+  }
+  r.micros = micros_since(t0);
+  span.arg("planned", r.planned);
+  span.arg("jobs", static_cast<std::uint64_t>(r.jobs));
+  span.arg("rows", r.rows.row_count());
+  CCSQL_COUNT("db.queries", 1);
+  CCSQL_COUNT("db.rows_emitted", r.rows.row_count());
+  return r;
+}
+
+bool Database::check_empty(std::string_view invariant_text) const {
+  for (const SelectStmt& s : parse_invariant(invariant_text)) {
+    if (!check_empty(s)) return false;
+  }
+  return true;
+}
+
+bool Database::check_empty(const SelectStmt& stmt) const {
+  CCSQL_COUNT("db.emptiness_probes", 1);
+  if (planner_on()) {
+    plan::PlannerOptions opts;
+    opts.exists_only = true;
+    return plan::run_select(catalog_, stmt, opts).row_count() == 0;
+  }
+  return catalog_.run_naive(stmt).row_count() == 0;
+}
+
+QueryResult Database::explain(std::string_view select_text) const {
+  QueryResult r;
+  r.planned = true;
+  r.jobs = jobs();
+  plan::PlannerOptions opts;
+  opts.jobs = r.jobs;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.plan = plan::explain_sql(catalog_, select_text, opts);
+  r.micros = micros_since(t0);
+  return r;
+}
+
+Table Database::cross_select(const Table& left, const Table& right,
+                             const Expr& pred,
+                             const Schema& ident_schema) const {
+  if (!planner_on()) {
+    Table crossed = Table::cross(left, right);
+    CompiledExpr compiled =
+        compile(pred, crossed.schema(), ident_schema, &catalog_.functions());
+    return crossed.select(compiled.predicate());
+  }
+  return plan::cross_select(left, right, pred, ident_schema,
+                            &catalog_.functions(), jobs());
+}
+
+}  // namespace ccsql

@@ -1,0 +1,133 @@
+#pragma once
+
+// The unified query-session facade.  Every subsystem (invariant checker,
+// VCG composition, solver, simulator setup, CLI) issues SQL through a
+// Database instead of picking between Catalog::run / run_naive /
+// check_empty and carrying its own planner-toggle plumbing:
+//
+//   Database db(spec.database());      // or build a Catalog and wrap it
+//   QueryResult r = db.query("select * from t where s = 'I'");
+//   bool holds   = db.check_empty(invariant_sql);
+//   std::string p = db.explain(sql).plan;
+//
+// A Database owns its Catalog plus the session's execution settings: the
+// planner override (unset = follow the process-wide flag) and the parallel
+// lane count `jobs` (0 = the --jobs / CCSQL_JOBS / hardware default) that
+// the morsel-driven operators in src/plan fan out across the shared
+// core::Pool.  Results are bit-identical at any jobs value.
+//
+// Catalog::run / run_naive remain public only as the property-test oracle;
+// production code goes through Database.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "relational/query.hpp"
+
+namespace ccsql {
+
+/// Rows plus the execution facts that accompany them.
+struct QueryResult {
+  Table rows;
+  /// Rendered plan with est/actual row counts; filled by explain() only.
+  std::string plan;
+  /// Whether the statement went through the planner (else the naive oracle).
+  bool planned = false;
+  /// Parallel lanes the execution was allowed to use.
+  std::size_t jobs = 1;
+  /// Wall-clock plan+execute time.
+  std::uint64_t micros = 0;
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows.row_count();
+  }
+  [[nodiscard]] bool empty() const noexcept { return rows.row_count() == 0; }
+};
+
+class Database {
+ public:
+  Database() = default;
+  explicit Database(Catalog catalog) : catalog_(std::move(catalog)) {}
+
+  // ---- session settings ----------------------------------------------------
+
+  /// Forces the planner on/off for this session.  Unset (the default)
+  /// follows the process-wide flag (plan::planner_enabled, i.e. the CLI's
+  /// --no-planner / CCSQL_NO_PLANNER).
+  Database& set_planner(bool on) {
+    use_planner_ = on;
+    return *this;
+  }
+  /// Parallel lanes for this session's queries; 0 = process default
+  /// (core::Pool::default_jobs, i.e. --jobs / CCSQL_JOBS / hardware).
+  Database& set_jobs(std::size_t jobs) {
+    jobs_ = jobs;
+    return *this;
+  }
+  /// The resolved lane count (never 0).
+  [[nodiscard]] std::size_t jobs() const;
+  [[nodiscard]] bool planner_on() const;
+
+  // ---- catalog -------------------------------------------------------------
+
+  [[nodiscard]] Catalog& catalog() noexcept { return catalog_; }
+  [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
+
+  void put(std::string name, Table table) {
+    catalog_.put(std::move(name), std::move(table));
+  }
+  [[nodiscard]] bool has(std::string_view name) const {
+    return catalog_.has(name);
+  }
+  [[nodiscard]] const Table& get(std::string_view name) const {
+    return catalog_.get(name);
+  }
+  [[nodiscard]] FunctionRegistry& functions() noexcept {
+    return catalog_.functions();
+  }
+  [[nodiscard]] const FunctionRegistry& functions() const noexcept {
+    return catalog_.functions();
+  }
+  [[nodiscard]] const std::map<std::string, Table, std::less<>>& tables()
+      const noexcept {
+    return catalog_.tables();
+  }
+
+  // ---- queries -------------------------------------------------------------
+
+  /// Executes a SELECT with this session's planner/jobs settings.
+  [[nodiscard]] QueryResult query(std::string_view select_text) const;
+  [[nodiscard]] QueryResult query(const SelectStmt& stmt) const;
+
+  /// True iff every SELECT of the invariant yields no rows.  Runs in exists
+  /// mode (stops at the first violating row); always serial per statement —
+  /// parallelism for invariants fans out across the suite, not within one.
+  [[nodiscard]] bool check_empty(std::string_view invariant_text) const;
+  [[nodiscard]] bool check_empty(const SelectStmt& stmt) const;
+
+  /// Plans, executes, and renders the plan (est vs actual rows) into
+  /// QueryResult::plan.  Always goes through the planner — there is no
+  /// plan to show otherwise.
+  [[nodiscard]] QueryResult explain(std::string_view select_text) const;
+
+  /// Full-statement execution (CREATE TABLE AS / DROP / INSERT / SELECT),
+  /// mutating the owned catalog.
+  Table execute(std::string_view statement_text) {
+    return catalog_.execute(statement_text);
+  }
+
+  /// The solver's incremental-generation step — select(pred, cross(l, r))
+  /// over free-standing tables — under this session's settings.
+  [[nodiscard]] Table cross_select(const Table& left, const Table& right,
+                                   const Expr& pred,
+                                   const Schema& ident_schema) const;
+
+ private:
+  Catalog catalog_;
+  std::optional<bool> use_planner_;
+  std::size_t jobs_ = 0;  // 0 = follow the process-wide default
+};
+
+}  // namespace ccsql

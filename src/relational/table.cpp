@@ -1,9 +1,11 @@
 #include "relational/table.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/pool.hpp"
 #include "relational/error.hpp"
 
 namespace ccsql {
@@ -331,31 +333,94 @@ std::string Table::index_key(std::span<const Value> key) {
   return k;
 }
 
-const Table::IndexMap& Table::index_on(
-    const std::vector<std::string>& columns) const {
+namespace {
+
+/// Guards every table's index-cache pointer and map structure.  One global
+/// mutex (not per-table) keeps Table trivially copyable; the guarded
+/// sections are pointer installs and map lookups only — index *builds*
+/// happen outside it.
+std::mutex& index_cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Below this row count a parallel index build costs more than it saves.
+constexpr std::size_t kParallelIndexThreshold = 2048;
+constexpr std::size_t kIndexBuildGrain = 1024;
+
+}  // namespace
+
+const Table::IndexMap& Table::index_on(const std::vector<std::string>& columns,
+                                       std::size_t jobs) const {
   std::vector<std::size_t> idx;
   idx.reserve(columns.size());
   for (const auto& name : columns) idx.push_back(schema_->index_of(name));
-  return index_on(idx);
+  return index_on(idx, jobs);
 }
 
-const Table::IndexMap& Table::index_on(
-    const std::vector<std::size_t>& columns) const {
+const Table::IndexMap& Table::index_on(const std::vector<std::size_t>& columns,
+                                       std::size_t jobs) const {
+  {
+    std::lock_guard<std::mutex> lock(index_cache_mutex());
+    if (index_cache_) {
+      auto it = index_cache_->find(columns);
+      // std::map nodes are stable: the reference survives later inserts.
+      if (it != index_cache_->end()) return it->second;
+    }
+  }
+  // Build outside the lock: a pool worker building here can still take part
+  // in nested parallel work (Group::wait helping) without holding the cache
+  // mutex across it.  Concurrent callers may build the same index twice;
+  // emplace below keeps the first and drops the duplicate — wasted work,
+  // never a wrong answer.
+  IndexMap m = build_index(columns, jobs);
+  std::lock_guard<std::mutex> lock(index_cache_mutex());
   if (!index_cache_) {
     index_cache_ =
         std::make_shared<std::map<std::vector<std::size_t>, IndexMap>>();
   }
-  auto it = index_cache_->find(columns);
-  if (it != index_cache_->end()) return it->second;
-  IndexMap m;
-  m.reserve(row_count());
-  for (std::size_t i = 0; i < row_count(); ++i) {
-    m[index_key(row(i), columns)].push_back(i);
-  }
   return index_cache_->emplace(columns, std::move(m)).first->second;
 }
 
+Table::IndexMap Table::build_index(const std::vector<std::size_t>& columns,
+                                   std::size_t jobs) const {
+  const std::size_t n = row_count();
+  IndexMap m;
+  if (jobs > 1 && n >= kParallelIndexThreshold) {
+    // Partitioned build: each morsel hashes its own row range, partitions
+    // merge in morsel order.  Morsel i's rows all precede morsel j's for
+    // i < j, so every key's row list comes out ascending — byte-identical
+    // to the serial build.
+    const std::size_t morsels =
+        (n + kIndexBuildGrain - 1) / kIndexBuildGrain;
+    std::vector<IndexMap> parts(morsels);
+    core::Pool::global().parallel_for(
+        n, kIndexBuildGrain, jobs,
+        [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+          IndexMap& part = parts[morsel];
+          part.reserve(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            part[index_key(row(i), columns)].push_back(i);
+          }
+        });
+    m.reserve(n);
+    for (IndexMap& part : parts) {
+      for (auto& [key, rows] : part) {
+        auto& dst = m[key];
+        dst.insert(dst.end(), rows.begin(), rows.end());
+      }
+    }
+  } else {
+    m.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m[index_key(row(i), columns)].push_back(i);
+    }
+  }
+  return m;
+}
+
 bool Table::has_cached_index(const std::vector<std::size_t>& columns) const {
+  std::lock_guard<std::mutex> lock(index_cache_mutex());
   return index_cache_ && index_cache_->count(columns) > 0;
 }
 

@@ -143,8 +143,18 @@ class Table {
   /// first use and cached on the table (appending invalidates the cache);
   /// copies of a table share the already-built indexes.  Used by the query
   /// planner for point-lookup selects and hash-join build sides.
-  const IndexMap& index_on(const std::vector<std::string>& columns) const;
-  const IndexMap& index_on(const std::vector<std::size_t>& columns) const;
+  ///
+  /// Thread-safe: concurrent callers may race to build the same index, but
+  /// exactly one result is cached and all callers see a consistent map.
+  /// The build itself runs outside the cache lock, so a pool worker building
+  /// an index can still help with other pool tasks.  `jobs` > 1 partitions
+  /// the build across the pool; per-key row lists stay in ascending table
+  /// order (partitions are merged in row order), so results are identical
+  /// at any jobs value.
+  const IndexMap& index_on(const std::vector<std::string>& columns,
+                           std::size_t jobs = 1) const;
+  const IndexMap& index_on(const std::vector<std::size_t>& columns,
+                           std::size_t jobs = 1) const;
 
   /// True if index_on(columns) has already been built (observability).
   [[nodiscard]] bool has_cached_index(
@@ -158,6 +168,9 @@ class Table {
   }
 
   void check_same_names(const Table& other) const;
+
+  [[nodiscard]] IndexMap build_index(const std::vector<std::size_t>& columns,
+                                     std::size_t jobs) const;
 
   /// Drops the index cache before a mutation.  A copy sharing the cache
   /// keeps the old (still valid for its rows) indexes; this table starts

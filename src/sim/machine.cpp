@@ -52,7 +52,7 @@ Machine::Machine(const ProtocolSpec& spec, const ChannelAssignment& v,
       config_(config),
       net_(v, config.n_quads, config.channel_capacity),
       rng_(config.seed) {
-  const Catalog& db = spec.database();
+  const Catalog& db = spec.database().catalog();
   d_index_ = std::make_unique<TableIndex>(
       db.get(asura::kDirectory),
       std::vector<std::string>{"inmsg", "dirst", "dirlookup", "dirpv",

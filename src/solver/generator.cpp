@@ -4,7 +4,7 @@
 #include <limits>
 
 #include "obs/obs.hpp"
-#include "plan/planner.hpp"
+#include "relational/database.hpp"
 #include "relational/error.hpp"
 #include "relational/expr.hpp"
 
@@ -85,6 +85,12 @@ Table generate_incremental(const GenerationInput& input,
   gen_span.arg("columns", full.size());
   gen_span.arg("constraints", input.constraints.size());
 
+  // The per-column cross+filter steps run as queries of a scratch session:
+  // it carries the constraint predicates and this generation's jobs setting.
+  Database session;
+  if (input.functions != nullptr) session.functions() = *input.functions;
+  session.set_jobs(input.jobs);
+
   Table cur = Table::unit();
   for (std::size_t ci = 0; ci < full.size(); ++ci) {
     const std::string& col = full.column(ci).name;
@@ -121,8 +127,8 @@ Table generate_incremental(const GenerationInput& input,
       // The planner pushes single-side conjuncts below the cross and turns
       // prefix-column = new-column equalities into a hash join, so the
       // unconstrained product is never materialised.
-      cur = plan::cross_select(cur, dom, Expr::conjunction(std::move(ready)),
-                               full, input.functions);
+      cur = session.cross_select(cur, dom, Expr::conjunction(std::move(ready)),
+                                 full);
     }
     col_span.arg("rows_before", step.rows_before_filter);
     col_span.arg("rows_after", cur.row_count());

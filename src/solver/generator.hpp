@@ -20,6 +20,9 @@ struct GenerationInput {
   std::vector<Domain> domains;
   std::vector<ColumnConstraint> constraints;
   const FunctionRegistry* functions = nullptr;
+  /// Parallel lanes for each per-column cross+filter step (0 = process
+  /// default).  Output is identical at any value.
+  std::size_t jobs = 0;
 
   /// Throws SchemaError/BindError unless every schema column has exactly one
   /// domain and every constraint names a schema column.

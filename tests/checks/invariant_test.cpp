@@ -8,19 +8,19 @@
 namespace ccsql {
 namespace {
 
-Catalog small_db() {
+Database small_db() {
   Catalog cat;
   Table d(Schema::of({"dirst", "dirpv"}));
   d.append({V("MESI"), V("one")});
   d.append({V("SI"), V("gone")});
   d.append({V("I"), V("zero")});
   cat.put("D", std::move(d));
-  return cat;
+  return Database(std::move(cat));
 }
 
 TEST(InvariantChecker, PassingInvariant) {
-  Catalog cat = small_db();
-  InvariantChecker checker(cat);
+  Database db = small_db();
+  InvariantChecker checker(db);
   NamedInvariant inv{"consistency", "",
                      "[select dirst from D where dirst = MESI and "
                      "not dirpv = one] = empty"};
@@ -32,8 +32,8 @@ TEST(InvariantChecker, PassingInvariant) {
 }
 
 TEST(InvariantChecker, FailingInvariantReportsViolatingRows) {
-  Catalog cat = small_db();
-  InvariantChecker checker(cat);
+  Database db = small_db();
+  InvariantChecker checker(db);
   NamedInvariant inv{"no-shared", "",
                      "[select dirst, dirpv from D where dirst = SI] = empty"};
   InvariantResult r = checker.check(inv);
@@ -44,8 +44,8 @@ TEST(InvariantChecker, FailingInvariantReportsViolatingRows) {
 }
 
 TEST(InvariantChecker, ConjunctionReportsEachFailingCheck) {
-  Catalog cat = small_db();
-  InvariantChecker checker(cat);
+  Database db = small_db();
+  InvariantChecker checker(db);
   NamedInvariant inv{
       "two-checks", "",
       "[select dirst from D where dirst = SI] = empty and "
@@ -57,8 +57,8 @@ TEST(InvariantChecker, ConjunctionReportsEachFailingCheck) {
 }
 
 TEST(InvariantChecker, CheckAllAndAllHold) {
-  Catalog cat = small_db();
-  InvariantChecker checker(cat);
+  Database db = small_db();
+  InvariantChecker checker(db);
   std::vector<NamedInvariant> suite{
       {"ok", "", "[select dirst from D where dirst = nosuch] = empty"},
       {"bad", "", "[select dirst from D where dirst = I] = empty"},
@@ -73,8 +73,8 @@ TEST(InvariantChecker, CheckAllAndAllHold) {
 }
 
 TEST(InvariantChecker, ReportMentionsFailuresAndCounts) {
-  Catalog cat = small_db();
-  InvariantChecker checker(cat);
+  Database db = small_db();
+  InvariantChecker checker(db);
   std::vector<NamedInvariant> suite{
       {"ok", "", "[select dirst from D where dirst = nosuch] = empty"},
       {"bad", "", "[select dirst from D where dirst = I] = empty"},
@@ -91,8 +91,8 @@ TEST(InvariantChecker, ReportMentionsFailuresAndCounts) {
 }
 
 TEST(InvariantChecker, SuiteTotalAndBudget) {
-  Catalog cat = small_db();
-  InvariantChecker checker(cat);
+  Database db = small_db();
+  InvariantChecker checker(db);
   std::vector<NamedInvariant> suite{
       {"ok", "", "[select dirst from D where dirst = nosuch] = empty"},
       {"ok2", "", "[select dirst from D where dirst = nosuch] = empty"},
@@ -109,8 +109,8 @@ TEST(InvariantChecker, SuiteTotalAndBudget) {
 }
 
 TEST(InvariantChecker, MalformedSqlThrows) {
-  Catalog cat = small_db();
-  InvariantChecker checker(cat);
+  Database db = small_db();
+  InvariantChecker checker(db);
   NamedInvariant inv{"broken", "", "[select from] = empty"};
   EXPECT_THROW((void)checker.check(inv), ParseError);
 }

@@ -206,7 +206,7 @@ TEST(Explain, GoldenSingleTablePointLookup) {
   // (dir-state-pv-consistency): an equality on dirst plus a residual
   // filter.
   const std::string out = plan::explain_sql(
-      spec->database(),
+      spec->database().catalog(),
       "Select dirst, dirpv from D where dirst = \"MESI\" and "
       "not dirpv = \"one\"");
   EXPECT_EQ(out,
@@ -220,7 +220,7 @@ TEST(Explain, GoldenCrossTableHashJoin) {
   // The SELECT of mem-wb-reaches-completion: directory-to-memory writeback
   // handshake, planned as a hash join instead of a cross product.
   const std::string out = plan::explain_sql(
-      spec->database(),
+      spec->database().catalog(),
       "Select a.memmsg, b.inmsg, b.outmsg from D a, M b "
       "where a.memmsg = b.inmsg and a.memmsg = \"wb\" and "
       "not b.outmsg = \"compl\"");

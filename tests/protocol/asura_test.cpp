@@ -14,7 +14,7 @@ const ProtocolSpec& spec() {
   return *s;
 }
 
-const Catalog& db() { return spec().database(); }
+const Catalog& db() { return spec().database().catalog(); }
 
 TEST(Asura, HasEightControllerTables) {
   EXPECT_EQ(spec().controllers().size(), 8u);

@@ -19,7 +19,7 @@ const ProtocolSpec& spec() {
 }
 
 TEST(Snoopbus, TablesGenerate) {
-  const Catalog& db = spec().database();
+  const Catalog& db = spec().database().catalog();
   EXPECT_EQ(spec().controllers().size(), 3u);
   EXPECT_GT(db.get(snoopbus::kCache).row_count(), 20u);
   EXPECT_EQ(db.get(snoopbus::kMemory).row_count(), 6u);

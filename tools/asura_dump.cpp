@@ -7,7 +7,7 @@
 int main() {
   using namespace ccsql;
   auto spec = asura::make_asura();
-  const Catalog& db = spec->database();
+  const Catalog& db = spec->database().catalog();
   for (const auto& c : spec->controllers()) {
     const Table& t = db.get(c->name());
     std::cout << c->name() << ": " << t.row_count() << " rows x "

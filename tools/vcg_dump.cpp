@@ -6,7 +6,7 @@
 int main() {
   using namespace ccsql;
   auto spec = asura::make_asura();
-  const Catalog& db = spec->database();
+  const Database& db = spec->database();
   std::vector<ControllerTableRef> tables;
   for (const auto& c : spec->controllers()) {
     tables.push_back(ControllerTableRef::from_spec(*c, db.get(c->name())));
