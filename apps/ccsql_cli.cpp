@@ -21,6 +21,10 @@
 //   --metrics                  collect + print the metrics summary
 //   --no-planner               run every query through the naive executor
 //                              (CCSQL_NO_PLANNER=1 does the same)
+//   --no-bytecode              evaluate predicates with the interpreted
+//                              expression walk instead of the vectorized
+//                              bytecode engine (CCSQL_NO_BYTECODE=1 does
+//                              the same); results are identical
 //   --jobs N                   parallel lanes for query execution, the
 //                              invariant suite, and VCG composition
 //                              (CCSQL_JOBS=N does the same; default:
@@ -91,7 +95,7 @@ int usage() {
          "  lint                     specification hygiene advisories\n"
          "  flow                     full push-button report\n"
          "global flags: --trace FILE [--trace-format text|jsonl|chrome] "
-         "--metrics --no-planner --jobs N\n";
+         "--metrics --no-planner --no-bytecode --jobs N\n";
   return 2;
 }
 
@@ -290,6 +294,7 @@ int configure_observability(const Args& args) {
   }
   if (args.has("--metrics")) tracer.enable_metrics();
   if (args.has("--no-planner")) plan::set_planner_enabled(false);
+  if (args.has("--no-bytecode")) set_bytecode_enabled(false);
   if (args.has("--jobs")) {
     const int jobs = args.value_of("--jobs", 0);
     if (jobs < 1) {

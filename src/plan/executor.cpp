@@ -4,6 +4,7 @@
 
 #include "core/pool.hpp"
 #include "obs/obs.hpp"
+#include "plan/vectorized.hpp"
 #include "relational/error.hpp"
 #include "relational/expr.hpp"
 
@@ -13,9 +14,10 @@ namespace {
 /// Morsel sizing for the parallel operators.  Below the threshold the
 /// fork/join overhead exceeds the work; the grain is the per-claim row
 /// chunk (fixed, so morsel boundaries — and therefore output order — are
-/// independent of the worker count).
+/// independent of the worker count).  The grain doubles as the vectorized
+/// batch size (vec::kBatchRows), so a parallel morsel is exactly one batch.
 constexpr std::size_t kParallelRowThreshold = 2048;
-constexpr std::size_t kMorselGrain = 1024;
+constexpr std::size_t kMorselGrain = vec::kBatchRows;
 
 /// First `limit` rows of `t` (t itself when it is already small enough).
 Table take(Table t, std::size_t limit) {
@@ -181,14 +183,32 @@ struct Executor {
 
   /// Rows of `src` passing `pred`, in table order, as a table over `schema`.
   /// Parallel when go_parallel(): each morsel collects its hits, morsels
-  /// concatenate in order — identical output to the serial scan.
+  /// concatenate in order — identical output to the serial scan.  With the
+  /// bytecode engine (the default) each morsel/batch evaluates over a
+  /// selection vector; --no-bytecode keeps the interpreted row loop.
   Table filter(const Table& src, const SchemaPtr& schema,
-               const CompiledExpr& pred, std::size_t limit,
+               const vec::RowFilter& pred, std::size_t limit,
                std::size_t& visited) {
     const std::size_t n = src.row_count();
     Table out(schema);
     if (go_parallel(limit, n)) {
       const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
+      if (pred.vectorized()) {
+        std::vector<bc::Sel> hits(morsels);
+        core::Pool::global().parallel_for(
+            n, kMorselGrain, ctx.jobs,
+            [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+              pred.filter_range(src, begin, end, kNoLimit, hits[morsel]);
+            });
+        std::size_t total = 0;
+        for (const auto& h : hits) total += h.size();
+        out.reserve_rows(total);
+        for (const auto& h : hits) {
+          for (std::uint32_t i : h) out.append(src.row(i));
+        }
+        visited = n;
+        return out;
+      }
       std::vector<std::vector<std::size_t>> hits(morsels);
       core::Pool::global().parallel_for(
           n, kMorselGrain, ctx.jobs,
@@ -207,6 +227,13 @@ struct Executor {
       visited = n;
       return out;
     }
+    if (pred.vectorized()) {
+      bc::Sel sel;
+      visited = pred.filter_range(src, 0, n, limit, sel);
+      out.reserve_rows(sel.size());
+      for (std::uint32_t i : sel) out.append(src.row(i));
+      return out;
+    }
     for (std::size_t i = 0; i < n && out.row_count() < limit; ++i) {
       ++visited;
       RowView r = src.row(i);
@@ -216,8 +243,8 @@ struct Executor {
   }
 
   Table select(PlanNode& node, std::size_t limit) {
-    CompiledExpr pred =
-        compile(*node.predicate, *node.schema, full_of(node), ctx.functions);
+    vec::RowFilter pred(*node.predicate, *node.schema, full_of(node),
+                        ctx.functions);
     std::size_t visited = 0;
     if (node.child().is_scan()) {
       // Fused path: filter base rows in place, no intermediate copy.
@@ -243,13 +270,19 @@ struct Executor {
     const Table& base = base_of(sel.child());
     const std::size_t n = base.row_count();
     if (!go_parallel(kNoLimit, n)) return false;
-    CompiledExpr pred =
-        compile(*sel.predicate, *sel.schema, full_of(sel), ctx.functions);
+    vec::RowFilter pred(*sel.predicate, *sel.schema, full_of(sel),
+                        ctx.functions);
     const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
     std::vector<std::size_t> counts(morsels, 0);
     core::Pool::global().parallel_for(
         n, kMorselGrain, ctx.jobs,
         [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+          if (pred.vectorized()) {
+            bc::Sel hits;
+            pred.filter_range(base, begin, end, kNoLimit, hits);
+            counts[morsel] = hits.size();
+            return;
+          }
           std::size_t c = 0;
           for (std::size_t i = begin; i < end; ++i) {
             if (pred.eval(base.row(i))) ++c;

@@ -1,0 +1,57 @@
+#include "plan/vectorized.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace ccsql::plan::vec {
+
+RowFilter::RowFilter(const Expr& expr, const Schema& row_schema,
+                     const Schema& full_schema,
+                     const FunctionRegistry* functions) {
+  if (bytecode_enabled()) {
+    prog_ = compile_bytecode(expr, row_schema, full_schema, functions);
+  } else {
+    interp_ = compile(expr, row_schema, full_schema, functions);
+  }
+}
+
+std::size_t RowFilter::filter_range(const Table& src, std::size_t begin,
+                                    std::size_t end, std::size_t limit,
+                                    bc::Sel& sel) const {
+  const std::size_t width = src.column_count();
+  const Value* data =
+      (width > 0 && src.row_count() > 0) ? src.row(0).data() : nullptr;
+  // Scratch selection buffers are acquired/released LIFO, so one
+  // thread-local pool serves nested evaluations (a registry predicate that
+  // itself filters) and is reused across every batch this thread runs.
+  thread_local bc::Scratch scratch;
+  bc::Sel hits;
+  std::size_t added = 0;
+  std::size_t visited = 0;
+  if (limit == 0) return 0;
+  for (std::size_t b = begin; b < end; b += kBatchRows) {
+    const std::size_t be = std::min(b + kBatchRows, end);
+    prog_.eval_range(data, width, static_cast<std::uint32_t>(b),
+                     static_cast<std::uint32_t>(be), hits, scratch);
+    CCSQL_COUNT("exec.batches", 1);
+    CCSQL_OBSERVE("exec.sel_density",
+                  static_cast<double>(hits.size()) /
+                      static_cast<double>(be - b));
+    if (added + hits.size() < limit) {
+      sel.insert(sel.end(), hits.begin(), hits.end());
+      added += hits.size();
+      visited = be - begin;
+      continue;
+    }
+    // This batch fills the budget: stop at exactly the row that fills it,
+    // like the scalar loop would.
+    const std::size_t take = limit - added;
+    sel.insert(sel.end(), hits.begin(), hits.begin() + take);
+    visited = static_cast<std::size_t>(hits[take - 1]) + 1 - begin;
+    break;
+  }
+  return visited;
+}
+
+}  // namespace ccsql::plan::vec

@@ -1,0 +1,69 @@
+#pragma once
+
+// Vectorized batch execution for the plan operators (DESIGN.md section 10).
+//
+// RowFilter is the executor's one predicate object: it compiles a resolved
+// Expr into whichever engine is active — the bytecode batch evaluator
+// (default) or the interpreted CompiledExpr walk (--no-bytecode) — and
+// exposes both a scalar row test and a batch filter over row-index ranges.
+//
+// The batch path walks the table in batches of kBatchRows rows, seeds a
+// dense selection vector per batch, and lets the bytecode program refine it
+// (bc::Program::eval_batch).  Row-index output keeps table order, so the
+// selection a batch produces is byte-identical to the serial scalar scan —
+// including under a row budget, where the filter stops at exactly the row
+// that fills the limit, like the scalar loop does.
+//
+// Morsels and batches share the same 1024-row grain: a parallel morsel is
+// one batch, so the parallel and serial paths see identical batch
+// boundaries and emit identical selections.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "relational/bytecode.hpp"
+#include "relational/expr.hpp"
+#include "relational/table.hpp"
+
+namespace ccsql::plan::vec {
+
+/// Rows per evaluation batch; equal to the executor's morsel grain so a
+/// morsel is exactly one batch.
+inline constexpr std::size_t kBatchRows = 1024;
+
+class RowFilter {
+ public:
+  RowFilter() = default;
+
+  /// Compiles `expr` for rows of `row_schema` (identifier-hood from
+  /// `full_schema`) into the active engine.
+  RowFilter(const Expr& expr, const Schema& row_schema,
+            const Schema& full_schema, const FunctionRegistry* functions);
+
+  /// True when the bytecode batch engine is active for this filter.
+  [[nodiscard]] bool vectorized() const noexcept {
+    return static_cast<bool>(prog_);
+  }
+
+  /// Scalar row test (either engine).
+  [[nodiscard]] bool eval(RowView row) const {
+    return prog_ ? prog_.eval(row) : interp_.eval(row);
+  }
+
+  /// Batch-filters rows [begin, end) of `src`, appending passing row
+  /// indices to `sel` in ascending order, stopping once `limit` indices
+  /// have been appended in total across the call.  Returns the number of
+  /// rows visited — under a limit, exactly the index distance up to and
+  /// including the row that filled it, matching the scalar loop's count.
+  /// Requires vectorized().
+  std::size_t filter_range(const Table& src, std::size_t begin,
+                           std::size_t end, std::size_t limit,
+                           bc::Sel& sel) const;
+
+ private:
+  bc::Program prog_;     // bytecode engine (empty when interpreting)
+  CompiledExpr interp_;  // interpreted oracle engine
+};
+
+}  // namespace ccsql::plan::vec

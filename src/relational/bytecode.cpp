@@ -1,0 +1,640 @@
+#include "relational/bytecode.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iterator>
+#include <memory>
+#include <string_view>
+
+#include "obs/obs.hpp"
+#include "relational/error.hpp"
+
+namespace ccsql {
+namespace {
+
+std::atomic<bool>& bytecode_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("CCSQL_NO_BYTECODE");
+    const bool off =
+        env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
+    return !off;
+  }();
+  return flag;
+}
+
+/// Extends `out` by `extra` slots and returns a pointer to the first new
+/// slot.  The batch kernels write unconditionally through this pointer and
+/// advance a cursor only for accepted rows ("branchless selection"), then
+/// trim with shrink_to().
+std::uint32_t* grow(bc::Sel& out, std::size_t extra) {
+  const std::size_t base = out.size();
+  out.resize(base + extra);
+  return out.data() + base;
+}
+
+void shrink_to(bc::Sel& out, const std::uint32_t* end) {
+  out.resize(static_cast<std::size_t>(end - out.data()));
+}
+
+/// Appends the members of `sel` not present in `sub` (sub is a sorted
+/// subsequence of sel) to `out` — the selection-vector complement used by
+/// NOT, the OR remainder, and the ternary's else branch.
+void complement(std::span<const std::uint32_t> sel, const bc::Sel& sub,
+                bc::Sel& out) {
+  std::uint32_t* dst = grow(out, sel.size());
+  const std::uint32_t* s = sub.data();
+  const std::uint32_t* s_end = s + sub.size();
+  for (std::uint32_t i : sel) {
+    const bool drop = s != s_end && *s == i;
+    s += drop;
+    *dst = i;
+    dst += !drop;
+  }
+  shrink_to(out, dst);
+}
+
+/// Sorted disjoint merge of `a` and `b` appended to `out`.
+void merge_into(const bc::Sel& a, const bc::Sel& b, bc::Sel& out) {
+  std::uint32_t* dst = grow(out, a.size() + b.size());
+  std::uint32_t* end =
+      std::merge(a.begin(), a.end(), b.begin(), b.end(), dst);
+  shrink_to(out, end);
+}
+
+/// complement() against the implicit dense selection [begin, end).
+void complement_range(std::uint32_t begin, std::uint32_t end,
+                      const bc::Sel& sub, bc::Sel& out) {
+  std::uint32_t* dst = grow(out, end - begin);
+  const std::uint32_t* s = sub.data();
+  const std::uint32_t* s_end = s + sub.size();
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const bool drop = s != s_end && *s == i;
+    s += drop;
+    *dst = i;
+    dst += !drop;
+  }
+  shrink_to(out, dst);
+}
+
+/// Appends begin..end-1 to `out`.
+void append_iota(std::uint32_t begin, std::uint32_t end, bc::Sel& out) {
+  std::uint32_t* dst = grow(out, end - begin);
+  for (std::uint32_t i = begin; i < end; ++i) *dst++ = i;
+}
+
+}  // namespace
+
+bool bytecode_enabled() {
+  return bytecode_flag().load(std::memory_order_relaxed);
+}
+
+void set_bytecode_enabled(bool enabled) {
+  bytecode_flag().store(enabled, std::memory_order_relaxed);
+}
+
+namespace bc {
+
+// ---- evaluation -------------------------------------------------------------
+
+struct Program::NodeEval {
+  const Program& p;
+  const Value* data = nullptr;
+  std::size_t width = 0;
+  Scratch* scratch = nullptr;
+
+  [[nodiscard]] const Value* row_ptr(std::uint32_t i) const noexcept {
+    return data + static_cast<std::size_t>(i) * width;
+  }
+
+  [[nodiscard]] bool call(const Insn& in, const Value* row) const {
+    Value inline_args[8];
+    std::vector<Value> heap_args;
+    Value* args = inline_args;
+    if (in.argc > 8) {
+      heap_args.resize(in.argc);
+      args = heap_args.data();
+    }
+    for (std::uint32_t k = 0; k < in.argc; ++k) {
+      args[k] = p.operands_[in.args + k].get(row);
+    }
+    return (*in.fn)(std::span<const Value>(args, in.argc));
+  }
+
+  // -- batch ------------------------------------------------------------------
+
+  /// Appends the members of `sel` accepted by the subtree rooted at insn
+  /// `r` to `out`, preserving ascending order.
+  // NOLINTNEXTLINE(misc-no-recursion)
+  void run(std::uint32_t r, std::span<const std::uint32_t> sel,
+           Sel& out) const {
+    // The ternary hands each branch only its side of the condition split,
+    // which can be empty — and cmp_batch's dense-batch detection reads
+    // sel.front()/sel.back(), so the empty selection must stop here.
+    if (sel.empty()) return;
+    const Insn& in = p.insns_[r];
+    switch (in.op) {
+      case Op::kConst:
+        if (in.imm) out.insert(out.end(), sel.begin(), sel.end());
+        return;
+      case Op::kCmp:
+        cmp_batch(in, sel, out);
+        return;
+      case Op::kIn: {
+        std::uint32_t* dst = grow(out, sel.size());
+        const Operand* members = p.operands_.data() + in.args;
+        const std::uint32_t argc = in.argc;
+        const bool neg = in.negated;
+        const Operand& lhs = p.operands_[in.a];
+        for (std::uint32_t i : sel) {
+          const Value* row = row_ptr(i);
+          const Value v = lhs.get(row);
+          bool found = false;
+          for (std::uint32_t k = 0; k < argc; ++k) {
+            found |= members[k].get(row) == v;
+          }
+          *dst = i;
+          dst += found != neg;
+        }
+        shrink_to(out, dst);
+        return;
+      }
+      case Op::kCall: {
+        std::uint32_t* dst = grow(out, sel.size());
+        for (std::uint32_t i : sel) {
+          *dst = i;
+          dst += call(in, row_ptr(i));
+        }
+        shrink_to(out, dst);
+        return;
+      }
+      case Op::kAnd: {
+        if (in.argc == 0) {  // vacuous conjunction: everything passes
+          out.insert(out.end(), sel.begin(), sel.end());
+          return;
+        }
+        // Refine the selection conjunct by conjunct; later conjuncts only
+        // ever see rows every earlier conjunct accepted.
+        Sel& a = scratch->acquire();
+        Sel& b = scratch->acquire();
+        std::span<const std::uint32_t> cur = sel;
+        for (std::uint32_t k = 0; k + 1 < in.argc; ++k) {
+          Sel& dst = (cur.data() == a.data()) ? b : a;
+          dst.clear();
+          run(p.roots_[in.args + k], cur, dst);
+          cur = dst;
+          if (cur.empty()) break;
+        }
+        if (!cur.empty()) run(p.roots_[in.args + in.argc - 1], cur, out);
+        scratch->release(2);
+        return;
+      }
+      case Op::kOr: {
+        // Later disjuncts only see rows every earlier disjunct rejected;
+        // accepted sets are disjoint, so the union is a sorted merge.
+        Sel& rem = scratch->acquire();
+        Sel& next_rem = scratch->acquire();
+        Sel& hit = scratch->acquire();
+        Sel& acc = scratch->acquire();
+        Sel& merged = scratch->acquire();
+        rem.assign(sel.begin(), sel.end());
+        for (std::uint32_t k = 0; k < in.argc && !rem.empty(); ++k) {
+          hit.clear();
+          run(p.roots_[in.args + k], rem, hit);
+          if (hit.empty()) continue;
+          merged.clear();
+          merge_into(acc, hit, merged);
+          acc.swap(merged);
+          next_rem.clear();
+          complement(rem, hit, next_rem);
+          rem.swap(next_rem);
+        }
+        out.insert(out.end(), acc.begin(), acc.end());
+        scratch->release(5);
+        return;
+      }
+      case Op::kNot: {
+        Sel& hit = scratch->acquire();
+        run(p.roots_[in.args], sel, hit);
+        complement(sel, hit, out);
+        scratch->release();
+        return;
+      }
+      case Op::kTernary: {
+        Sel& cond = scratch->acquire();
+        Sel& rest = scratch->acquire();
+        Sel& then_hit = scratch->acquire();
+        Sel& else_hit = scratch->acquire();
+        run(p.roots_[in.args], sel, cond);
+        complement(sel, cond, rest);
+        run(p.roots_[in.args + 1], cond, then_hit);
+        run(p.roots_[in.args + 2], rest, else_hit);
+        merge_into(then_hit, else_hit, out);
+        scratch->release(4);
+        return;
+      }
+    }
+  }
+
+  /// Dense-range twin of run(): evaluates the subtree over the implicit
+  /// selection {begin, ..., end-1}, so the first full-width pass of every
+  /// predicate is a sequential strided loop — no index materialisation, no
+  /// gather.  Refined (sparse) selections drop down to run().
+  // NOLINTNEXTLINE(misc-no-recursion)
+  void run_range(std::uint32_t r, std::uint32_t begin, std::uint32_t end,
+                 Sel& out) const {
+    if (begin >= end) return;
+    const Insn& in = p.insns_[r];
+    switch (in.op) {
+      case Op::kConst:
+        if (in.imm) append_iota(begin, end, out);
+        return;
+      case Op::kCmp:
+        cmp_range(in, begin, end, out);
+        return;
+      case Op::kIn: {
+        std::uint32_t* dst = grow(out, end - begin);
+        const Operand* members = p.operands_.data() + in.args;
+        const std::uint32_t argc = in.argc;
+        const bool neg = in.negated;
+        const Operand& lhs = p.operands_[in.a];
+        const Value* row = row_ptr(begin);
+        for (std::uint32_t i = begin; i < end; ++i, row += width) {
+          const Value v = lhs.get(row);
+          bool found = false;
+          for (std::uint32_t k = 0; k < argc; ++k) {
+            found |= members[k].get(row) == v;
+          }
+          *dst = i;
+          dst += found != neg;
+        }
+        shrink_to(out, dst);
+        return;
+      }
+      case Op::kCall: {
+        std::uint32_t* dst = grow(out, end - begin);
+        const Value* row = row_ptr(begin);
+        for (std::uint32_t i = begin; i < end; ++i, row += width) {
+          *dst = i;
+          dst += call(in, row);
+        }
+        shrink_to(out, dst);
+        return;
+      }
+      case Op::kAnd: {
+        if (in.argc == 0) {
+          append_iota(begin, end, out);
+          return;
+        }
+        if (in.argc == 1) {
+          run_range(p.roots_[in.args], begin, end, out);
+          return;
+        }
+        Sel& a = scratch->acquire();
+        Sel& b = scratch->acquire();
+        run_range(p.roots_[in.args], begin, end, a);
+        std::span<const std::uint32_t> cur = a;
+        for (std::uint32_t k = 1; k + 1 < in.argc && !cur.empty(); ++k) {
+          Sel& dst = (cur.data() == a.data()) ? b : a;
+          dst.clear();
+          run(p.roots_[in.args + k], cur, dst);
+          cur = dst;
+        }
+        if (!cur.empty()) run(p.roots_[in.args + in.argc - 1], cur, out);
+        scratch->release(2);
+        return;
+      }
+      case Op::kOr: {
+        if (in.argc == 0) return;  // vacuous disjunction: nothing passes
+        Sel& rem = scratch->acquire();
+        Sel& next_rem = scratch->acquire();
+        Sel& hit = scratch->acquire();
+        Sel& acc = scratch->acquire();
+        Sel& merged = scratch->acquire();
+        run_range(p.roots_[in.args], begin, end, acc);
+        complement_range(begin, end, acc, rem);
+        for (std::uint32_t k = 1; k < in.argc && !rem.empty(); ++k) {
+          hit.clear();
+          run(p.roots_[in.args + k], rem, hit);
+          if (hit.empty()) continue;
+          merged.clear();
+          merge_into(acc, hit, merged);
+          acc.swap(merged);
+          next_rem.clear();
+          complement(rem, hit, next_rem);
+          rem.swap(next_rem);
+        }
+        out.insert(out.end(), acc.begin(), acc.end());
+        scratch->release(5);
+        return;
+      }
+      case Op::kNot: {
+        Sel& hit = scratch->acquire();
+        run_range(p.roots_[in.args], begin, end, hit);
+        complement_range(begin, end, hit, out);
+        scratch->release();
+        return;
+      }
+      case Op::kTernary: {
+        Sel& cond = scratch->acquire();
+        Sel& rest = scratch->acquire();
+        Sel& then_hit = scratch->acquire();
+        Sel& else_hit = scratch->acquire();
+        run_range(p.roots_[in.args], begin, end, cond);
+        complement_range(begin, end, cond, rest);
+        run(p.roots_[in.args + 1], cond, then_hit);
+        run(p.roots_[in.args + 2], rest, else_hit);
+        merge_into(then_hit, else_hit, out);
+        scratch->release(4);
+        return;
+      }
+    }
+  }
+
+  /// Dense-range twin of cmp_batch: sequential strided loops.
+  void cmp_range(const Insn& in, std::uint32_t begin, std::uint32_t end,
+                 Sel& out) const {
+    const Operand& l = p.operands_[in.a];
+    const Operand& r = p.operands_[in.b];
+    const bool neg = in.negated;
+    if (!l.is_column && !r.is_column) {
+      if ((l.value == r.value) != neg) append_iota(begin, end, out);
+      return;
+    }
+    std::uint32_t* dst = grow(out, end - begin);
+    if (l.is_column != r.is_column) {
+      const Value* cell = row_ptr(begin) + (l.is_column ? l.column : r.column);
+      const Value c = l.is_column ? r.value : l.value;
+      for (std::uint32_t i = begin; i < end; ++i, cell += width) {
+        *dst = i;
+        dst += (*cell == c) != neg;
+      }
+    } else {
+      const Value* ca = row_ptr(begin) + l.column;
+      const Value* cb = row_ptr(begin) + r.column;
+      for (std::uint32_t i = begin; i < end; ++i, ca += width, cb += width) {
+        *dst = i;
+        dst += (*ca == *cb) != neg;
+      }
+    }
+    shrink_to(out, dst);
+  }
+
+  /// The hot leaf: specialised branchless loops per operand shape, no
+  /// dispatch inside.
+  void cmp_batch(const Insn& in, std::span<const std::uint32_t> sel,
+                 Sel& out) const {
+    const Operand& l = p.operands_[in.a];
+    const Operand& r = p.operands_[in.b];
+    const bool neg = in.negated;
+    if (!l.is_column && !r.is_column) {
+      if ((l.value == r.value) != neg) {
+        out.insert(out.end(), sel.begin(), sel.end());
+      }
+      return;
+    }
+    std::uint32_t* dst = grow(out, sel.size());
+    // The executor feeds dense iota batches, so the first (full-batch) pass
+    // of every predicate takes the sequential strided loops below; only
+    // refined (sparse) selections pay the gather.
+    const bool dense =
+        sel.back() - sel.front() + 1 == static_cast<std::uint32_t>(sel.size());
+    if (l.is_column != r.is_column) {
+      const Value* col = data + (l.is_column ? l.column : r.column);
+      const Value c = l.is_column ? r.value : l.value;
+      if (dense) {
+        const std::uint32_t f = sel.front();
+        const Value* cell = col + static_cast<std::size_t>(f) * width;
+        for (std::uint32_t i = f; i <= sel.back(); ++i, cell += width) {
+          *dst = i;
+          dst += (*cell == c) != neg;
+        }
+      } else {
+        for (std::uint32_t i : sel) {
+          *dst = i;
+          dst += (col[static_cast<std::size_t>(i) * width] == c) != neg;
+        }
+      }
+    } else {
+      const Value* ca = data + l.column;
+      const Value* cb = data + r.column;
+      if (dense) {
+        const std::uint32_t f = sel.front();
+        std::size_t off = static_cast<std::size_t>(f) * width;
+        for (std::uint32_t i = f; i <= sel.back(); ++i, off += width) {
+          *dst = i;
+          dst += (ca[off] == cb[off]) != neg;
+        }
+      } else {
+        for (std::uint32_t i : sel) {
+          const std::size_t off = static_cast<std::size_t>(i) * width;
+          *dst = i;
+          dst += (ca[off] == cb[off]) != neg;
+        }
+      }
+    }
+    shrink_to(out, dst);
+  }
+};
+
+bool Program::eval(RowView row) const {
+  // Postfix pays off here: children precede parents and each subtree leaves
+  // exactly one value, so one linear pass over insns_ with a bool stack
+  // evaluates the whole program — no recursion, no child-root chasing.
+  // (Unlike the interpreted walk this does not short-circuit; predicates
+  // are pure, so only timing can differ, never the result.)
+  const Value* d = row.data();
+  if (insns_.empty()) return false;  // uncompiled program
+  bool inline_stack[64];
+  std::unique_ptr<bool[]> heap_stack;
+  bool* stack = inline_stack;
+  if (insns_.size() > 64) {
+    heap_stack = std::make_unique<bool[]>(insns_.size());
+    stack = heap_stack.get();
+  }
+  std::size_t sp = 0;
+  NodeEval ev{*this, d, row.size(), nullptr};
+  for (const Insn& in : insns_) {
+    switch (in.op) {
+      case Op::kConst:
+        stack[sp++] = in.imm;
+        break;
+      case Op::kCmp:
+        stack[sp++] = (operands_[in.a].get(d) == operands_[in.b].get(d)) !=
+                      in.negated;
+        break;
+      case Op::kIn: {
+        const Value v = operands_[in.a].get(d);
+        bool found = false;
+        for (std::uint32_t k = 0; k < in.argc; ++k) {
+          found |= operands_[in.args + k].get(d) == v;
+        }
+        stack[sp++] = found != in.negated;
+        break;
+      }
+      case Op::kCall:
+        stack[sp++] = ev.call(in, d);
+        break;
+      case Op::kAnd: {
+        bool v = true;
+        for (std::uint32_t k = 0; k < in.argc; ++k) v &= stack[sp - in.argc + k];
+        sp -= in.argc;
+        stack[sp++] = v;
+        break;
+      }
+      case Op::kOr: {
+        bool v = false;
+        for (std::uint32_t k = 0; k < in.argc; ++k) v |= stack[sp - in.argc + k];
+        sp -= in.argc;
+        stack[sp++] = v;
+        break;
+      }
+      case Op::kNot:
+        stack[sp - 1] = !stack[sp - 1];
+        break;
+      case Op::kTernary: {
+        const bool else_v = stack[--sp];
+        const bool then_v = stack[--sp];
+        const bool cond_v = stack[--sp];
+        stack[sp++] = cond_v ? then_v : else_v;
+        break;
+      }
+    }
+  }
+  return stack[0];
+}
+
+void Program::eval_batch(const Value* data, std::size_t width,
+                         std::span<const std::uint32_t> sel, Sel& out,
+                         Scratch& scratch) const {
+  out.clear();
+  if (sel.empty()) return;
+  NodeEval ev{*this, data, width, &scratch};
+  ev.run(static_cast<std::uint32_t>(insns_.size() - 1), sel, out);
+}
+
+void Program::eval_range(const Value* data, std::size_t width,
+                         std::uint32_t begin, std::uint32_t end, Sel& out,
+                         Scratch& scratch) const {
+  out.clear();
+  if (begin >= end) return;
+  NodeEval ev{*this, data, width, &scratch};
+  ev.run_range(static_cast<std::uint32_t>(insns_.size() - 1), begin, end, out);
+}
+
+}  // namespace bc
+
+// ---- compilation ------------------------------------------------------------
+
+namespace {
+
+struct BcCompiler {
+  const Schema& row_schema;
+  const Schema& full_schema;
+  const FunctionRegistry* functions;
+  bc::Program& out;
+
+  std::vector<bc::Insn>& insns;
+  std::vector<bc::Operand>& operands;
+  std::vector<std::uint32_t>& roots;
+
+  std::uint32_t operand(const Atom& a) const {
+    bc::Operand op;
+    if (a.kind == Atom::Kind::kIdent && full_schema.has(a.text)) {
+      op.is_column = true;
+      op.column = static_cast<std::uint32_t>(
+          row_schema.index_of(a.text));  // throws if not bound yet
+    } else {
+      op.value = Symbol::intern(a.text);
+    }
+    operands.push_back(op);
+    return static_cast<std::uint32_t>(operands.size() - 1);
+  }
+
+  std::uint32_t emit(bc::Insn in) const {
+    insns.push_back(in);
+    return static_cast<std::uint32_t>(insns.size() - 1);
+  }
+
+  /// Appends the subtree of `e` in postfix order; returns its root index.
+  // NOLINTNEXTLINE(misc-no-recursion)
+  std::uint32_t build(const Expr& e) const {
+    bc::Insn in;
+    switch (e.op()) {
+      case Expr::Op::kBool:
+        in.op = bc::Op::kConst;
+        in.imm = e.bool_value();
+        return emit(in);
+      case Expr::Op::kCompare:
+        in.op = bc::Op::kCmp;
+        in.negated = e.negated();
+        in.a = operand(e.atoms()[0]);
+        in.b = operand(e.atoms()[1]);
+        return emit(in);
+      case Expr::Op::kIn: {
+        in.op = bc::Op::kIn;
+        in.negated = e.negated();
+        in.a = operand(e.atoms()[0]);
+        in.args = static_cast<std::uint32_t>(operands.size());
+        in.argc = static_cast<std::uint32_t>(e.atoms().size() - 1);
+        for (std::size_t i = 1; i < e.atoms().size(); ++i) {
+          operand(e.atoms()[i]);
+        }
+        return emit(in);
+      }
+      case Expr::Op::kCall: {
+        if (functions == nullptr || !functions->has(e.callee())) {
+          throw BindError("unknown function: " + e.callee());
+        }
+        in.op = bc::Op::kCall;
+        in.fn = functions->find(e.callee());
+        in.args = static_cast<std::uint32_t>(operands.size());
+        in.argc = static_cast<std::uint32_t>(e.atoms().size());
+        for (const Atom& a : e.atoms()) operand(a);
+        return emit(in);
+      }
+      case Expr::Op::kAnd:
+      case Expr::Op::kOr:
+      case Expr::Op::kNot:
+      case Expr::Op::kTernary: {
+        std::vector<std::uint32_t> child_roots;
+        child_roots.reserve(e.children().size());
+        for (const Expr& c : e.children()) child_roots.push_back(build(c));
+        switch (e.op()) {
+          case Expr::Op::kAnd:
+            in.op = bc::Op::kAnd;
+            break;
+          case Expr::Op::kOr:
+            in.op = bc::Op::kOr;
+            break;
+          case Expr::Op::kNot:
+            in.op = bc::Op::kNot;
+            break;
+          default:
+            in.op = bc::Op::kTernary;
+            break;
+        }
+        in.args = static_cast<std::uint32_t>(roots.size());
+        in.argc = static_cast<std::uint32_t>(child_roots.size());
+        roots.insert(roots.end(), child_roots.begin(), child_roots.end());
+        return emit(in);
+      }
+    }
+    throw BindError("unreachable expression op");
+  }
+};
+
+}  // namespace
+
+bc::Program compile_bytecode(const Expr& expr, const Schema& row_schema,
+                             const Schema& full_schema,
+                             const FunctionRegistry* functions) {
+  bc::Program out;
+  BcCompiler c{row_schema, full_schema, functions, out,
+               out.insns_,  out.operands_, out.roots_};
+  (void)c.build(expr);
+  CCSQL_COUNT("bytecode.programs_compiled", 1);
+  return out;
+}
+
+}  // namespace ccsql

@@ -1,0 +1,169 @@
+#pragma once
+
+// Compiled predicate bytecode: the fast evaluation engine behind every hot
+// filter in the system (planner selects, hash-join residuals via selects,
+// fused counts, emptiness probes, solver generation).
+//
+// A resolved Expr is flattened into a postfix program over interned symbol
+// ids.  The program evaluates two ways:
+//
+//  - scalar: one row at a time (Program::eval), used by the row-budgeted
+//    serial paths and the monolithic solver's odometer loop;
+//  - batch: over a *selection vector* of ~1024 row indices at a time
+//    (Program::eval_batch), refining the selection operator by operator —
+//    AND evaluates its second conjunct only over rows the first accepted,
+//    OR evaluates later disjuncts only over rows still rejected, the
+//    ternary splits the selection on its condition.  Leaf comparisons run
+//    as tight loops over column data with no virtual dispatch.
+//
+// Both engines are exact drop-ins for CompiledExpr::eval: NULL is symbol
+// id 0 and compares as an ordinary value, and selection order is table
+// order, so results are byte-identical to the interpreted walk.  The
+// interpreter stays available behind --no-bytecode / CCSQL_NO_BYTECODE as
+// the differential oracle.
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "relational/expr.hpp"
+#include "relational/function_registry.hpp"
+#include "relational/schema.hpp"
+#include "relational/table.hpp"
+#include "relational/value.hpp"
+
+namespace ccsql {
+
+/// True (the default) when predicate evaluation should go through the
+/// bytecode engine instead of the interpreted CompiledExpr walk.
+/// Initialised from the environment on first use: CCSQL_NO_BYTECODE=1
+/// starts it off (the CLI's --no-bytecode does the same).
+[[nodiscard]] bool bytecode_enabled();
+void set_bytecode_enabled(bool enabled);
+
+namespace bc {
+class Program;
+}
+
+/// Compiles `expr` to bytecode, resolved against `row_schema` with
+/// identifier-hood decided by `full_schema` — the same contract as
+/// ccsql::compile for CompiledExpr (BindError on unknown columns or
+/// functions).
+bc::Program compile_bytecode(const Expr& expr, const Schema& row_schema,
+                             const Schema& full_schema,
+                             const FunctionRegistry* functions = nullptr);
+
+namespace bc {
+
+/// Row indices into a table, ascending.  u32 suffices: a row needs at least
+/// one 4-byte cell, so a table cannot hold 2^32 rows.
+using Sel = std::vector<std::uint32_t>;
+
+enum class Op : std::uint8_t {
+  kConst,    // push the immediate boolean
+  kCmp,      // push (operand(a) == operand(b)) != negated
+  kIn,       // push (operand(a) in operands[args..args+argc)) != negated
+  kCall,     // push fn(operands[args..args+argc))
+  kAnd,      // all children true (children at roots[args..args+argc))
+  kOr,       // any child true
+  kNot,      // single child false
+  kTernary,  // children cond, then, else
+};
+
+/// A resolved operand: a column index into the row, or a constant symbol.
+struct Operand {
+  bool is_column = false;
+  std::uint32_t column = 0;
+  Value value;
+
+  [[nodiscard]] Value get(const Value* row) const noexcept {
+    return is_column ? row[column] : value;
+  }
+};
+
+/// One instruction.  Composite ops locate their operand subtrees through
+/// the program's child-root pool, so the flat postfix form still supports
+/// the structured (short-circuiting, selection-refining) evaluation order.
+struct Insn {
+  Op op = Op::kConst;
+  bool negated = false;  // kCmp / kIn
+  bool imm = false;      // kConst payload
+  std::uint32_t a = 0;   // operand-pool index: lhs of kCmp / kIn
+  std::uint32_t b = 0;   // operand-pool index: rhs of kCmp
+  std::uint32_t argc = 0;  // operand count (kIn/kCall) or child count
+  std::uint32_t args = 0;  // pool offset: operands_ (kIn/kCall), roots_ (else)
+  const FunctionRegistry::Predicate* fn = nullptr;  // kCall
+};
+
+/// Reusable selection buffers for eval_batch.  Acquire/release is LIFO per
+/// recursion depth, so one thread-local Scratch serves nested evaluations.
+/// The pool is a deque: growing it must not invalidate buffers handed out
+/// to enclosing recursion levels.
+class Scratch {
+ public:
+  [[nodiscard]] Sel& acquire() {
+    if (used_ == pool_.size()) pool_.emplace_back();
+    Sel& s = pool_[used_++];
+    s.clear();
+    return s;
+  }
+  void release(std::size_t n = 1) { used_ -= n; }
+
+ private:
+  std::deque<Sel> pool_;
+  std::size_t used_ = 0;
+};
+
+class Program {
+ public:
+  Program() = default;
+
+  /// False for a default-constructed (uncompiled) program.
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return !insns_.empty();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return insns_.size(); }
+  [[nodiscard]] const std::vector<Insn>& insns() const noexcept {
+    return insns_;
+  }
+
+  /// Scalar evaluation of one row: a single linear pass over the postfix
+  /// program with a bool stack.  Evaluates every node (no short-circuit);
+  /// predicates are pure, so results match the interpreted walk exactly.
+  [[nodiscard]] bool eval(RowView row) const;
+
+  /// Batch evaluation: appends to `out` the members of `sel` (ascending row
+  /// indices into the row-major `data` of the given `width`) that satisfy
+  /// the program, preserving order.  `out` is cleared first.
+  void eval_batch(const Value* data, std::size_t width,
+                  std::span<const std::uint32_t> sel, Sel& out,
+                  Scratch& scratch) const;
+
+  /// Dense-range form of eval_batch over rows [begin, end): the selection
+  /// vector is implicit, so the first (full-batch) pass of every predicate
+  /// runs as a sequential strided loop with no index materialisation.
+  /// This is the executor's entry point — morsels are dense by construction.
+  void eval_range(const Value* data, std::size_t width, std::uint32_t begin,
+                  std::uint32_t end, Sel& out, Scratch& scratch) const;
+
+ private:
+  friend Program (::ccsql::compile_bytecode)(const Expr&, const Schema&,
+                                             const Schema&,
+                                             const FunctionRegistry*);
+  struct NodeEval;
+
+  std::vector<Insn> insns_;
+  std::vector<Operand> operands_;
+  // Child root instruction indices of composite ops, in source order.
+  std::vector<std::uint32_t> roots_;
+};
+
+}  // namespace bc
+
+inline bc::Program compile_bytecode(const Expr& expr, const Schema& schema,
+                                    const FunctionRegistry* functions = nullptr) {
+  return compile_bytecode(expr, schema, schema, functions);
+}
+
+}  // namespace ccsql

@@ -9,6 +9,51 @@
 #include "relational/error.hpp"
 
 namespace ccsql {
+
+// ---- TupleKey ---------------------------------------------------------------
+
+void TupleKey::set(std::size_t pos, std::uint32_t id) {
+  if (pos < 2) {
+    lo_ |= static_cast<std::uint64_t>(id) << (pos == 0 ? 32 : 0);
+  } else if (pos < 4) {
+    hi_ |= static_cast<std::uint64_t>(id) << (pos == 2 ? 32 : 0);
+  } else {
+    overflow_.push_back(id);
+  }
+}
+
+TupleKey TupleKey::of_row(RowView row, std::span<const std::size_t> cols) {
+  TupleKey k;
+  if (cols.size() > 4) k.overflow_.reserve(cols.size() - 4);
+  for (std::size_t i = 0; i < cols.size(); ++i) k.set(i, row[cols[i]].id());
+  return k;
+}
+
+TupleKey TupleKey::of_values(std::span<const Value> key) {
+  TupleKey k;
+  if (key.size() > 4) k.overflow_.reserve(key.size() - 4);
+  for (std::size_t i = 0; i < key.size(); ++i) k.set(i, key[i].id());
+  return k;
+}
+
+std::size_t TupleKey::hash() const noexcept {
+  if (hi_ == 0 && overflow_.empty()) {
+    // Short key: one splitmix64 finalizer round over the packed word.
+    std::uint64_t h = lo_ + 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the full tuple
+  auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 0x100000001b3ull;
+  };
+  mix(lo_);
+  mix(hi_);
+  for (std::uint32_t id : overflow_) mix(id);
+  return static_cast<std::size_t>(h);
+}
+
 namespace {
 
 /// Hash/equality over rows referenced by index into a flat value buffer.
@@ -122,17 +167,14 @@ Table Table::distinct() const {
     out.unit_rows_ = unit_rows_ > 0 ? 1 : 0;
     return out;
   }
-  RowSet seen;
+  // Dedupe on packed symbol-id tuples: rows of up to four columns hash and
+  // compare as two inline words, with no per-row key formatting.
+  std::unordered_set<TupleKey, TupleKeyHash> seen;
   seen.reserve(row_count());
   out.reserve_rows(row_count());
   for (std::size_t i = 0; i < row_count(); ++i) {
-    // Probe against rows already emitted into `out`.
-    const std::size_t candidate = out.row_count();
-    out.append(row(i));
-    RowRef ref{&out.data_, width(), candidate};
-    if (!seen.insert(ref).second) {
-      out.data_.resize(out.data_.size() - width());
-    }
+    RowView r = row(i);
+    if (seen.insert(TupleKey::of_values(r)).second) out.append(r);
   }
   return out;
 }
@@ -175,6 +217,7 @@ Table Table::union_all(const Table& a, const Table& b) {
     out.unit_rows_ += b.unit_rows_;
     return out;
   }
+  out.data_.reserve(out.data_.size() + b.data_.size());
   out.data_.insert(out.data_.end(), b.data_.begin(), b.data_.end());
   return out;
 }
@@ -221,24 +264,16 @@ Table Table::natural_join(const Table& a, const Table& b) {
   Table out(make_schema(std::move(cols)));
 
   // Hash b's rows by their key tuple.
-  std::unordered_map<std::string, std::vector<std::size_t>> index;
+  IndexMap index;
   index.reserve(b.row_count());
-  auto key_of = [](RowView row, const std::vector<std::size_t>& keys) {
-    std::string k;
-    for (std::size_t idx : keys) {
-      k += std::to_string(row[idx].id());
-      k += ',';
-    }
-    return k;
-  };
   for (std::size_t j = 0; j < b.row_count(); ++j) {
-    index[key_of(b.row(j), b_keys)].push_back(j);
+    index[TupleKey::of_row(b.row(j), b_keys)].push_back(j);
   }
 
   std::vector<Value> tmp(out.width());
   for (std::size_t i = 0; i < a.row_count(); ++i) {
     RowView ra = a.row(i);
-    auto it = index.find(key_of(ra, a_keys));
+    auto it = index.find(TupleKey::of_row(ra, a_keys));
     if (it == index.end()) continue;
     std::copy(ra.begin(), ra.end(), tmp.begin());
     for (std::size_t j : it->second) {
@@ -313,24 +348,6 @@ Table Table::sorted_by(const std::vector<std::string>& columns) const {
   out.reserve_rows(row_count());
   for (std::size_t i : order) out.append(row(i));
   return out;
-}
-
-std::string Table::index_key(RowView row, std::span<const std::size_t> cols) {
-  std::string k;
-  for (std::size_t c : cols) {
-    k += std::to_string(row[c].id());
-    k += ',';
-  }
-  return k;
-}
-
-std::string Table::index_key(std::span<const Value> key) {
-  std::string k;
-  for (Value v : key) {
-    k += std::to_string(v.id());
-    k += ',';
-  }
-  return k;
 }
 
 namespace {

@@ -19,6 +19,42 @@ namespace ccsql {
 /// A read-only view of one row of a table.
 using RowView = std::span<const Value>;
 
+/// A tuple of symbol ids packed for hashing: the key type of secondary
+/// indexes, join probes, and row deduplication.  Values are already interned
+/// 32-bit ids, so up to four of them pack into two inline words (no heap
+/// traffic for the common 1-4 column keys); wider tuples spill the remainder
+/// into an overflow vector.  Equality always compares the full tuple; the
+/// hash is the packed word for short keys and an FNV-1a mix otherwise.
+///
+/// Keys of different arities may collide structurally (a NULL id is 0), but
+/// every map is keyed by tuples of one fixed arity, so this never matters.
+class TupleKey {
+ public:
+  TupleKey() = default;
+
+  /// Key of the given cells of `row`, in `cols` order.
+  static TupleKey of_row(RowView row, std::span<const std::size_t> cols);
+  /// Key of an explicit tuple (same encoding as of_row).
+  static TupleKey of_values(std::span<const Value> key);
+
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  friend bool operator==(const TupleKey& a, const TupleKey& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_ && a.overflow_ == b.overflow_;
+  }
+
+ private:
+  void set(std::size_t pos, std::uint32_t id);
+
+  std::uint64_t lo_ = 0;  // ids 0-1, packed high-to-low
+  std::uint64_t hi_ = 0;  // ids 2-3
+  std::vector<std::uint32_t> overflow_;  // ids 4+
+};
+
+struct TupleKeyHash {
+  std::size_t operator()(const TupleKey& k) const noexcept { return k.hash(); }
+};
+
 /// An in-memory relation: an ordered multiset of fixed-width rows over a
 /// shared immutable Schema.  This is the database-table substrate on which
 /// the whole methodology runs: controller tables, column tables, dependency
@@ -131,13 +167,20 @@ class Table {
   // ---- Secondary indexes ---------------------------------------------------
 
   /// A hash index over a column set: key tuple (encoded by index_key) to the
-  /// row indices holding it, in table order.
-  using IndexMap = std::unordered_map<std::string, std::vector<std::size_t>>;
+  /// row indices holding it, in table order.  Keys are packed symbol-id
+  /// tuples (TupleKey), not strings: probing never formats or allocates for
+  /// keys of up to four columns.
+  using IndexMap =
+      std::unordered_map<TupleKey, std::vector<std::size_t>, TupleKeyHash>;
 
   /// Encodes the given cells of a row as an index probe key.
-  static std::string index_key(RowView row, std::span<const std::size_t> cols);
+  static TupleKey index_key(RowView row, std::span<const std::size_t> cols) {
+    return TupleKey::of_row(row, cols);
+  }
   /// Encodes an explicit key tuple (same format as the row overload).
-  static std::string index_key(std::span<const Value> key);
+  static TupleKey index_key(std::span<const Value> key) {
+    return TupleKey::of_values(key);
+  }
 
   /// Lazily-built secondary index keyed by the named columns.  Built on
   /// first use and cached on the table (appending invalidates the cache);
