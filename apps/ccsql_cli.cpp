@@ -2,8 +2,11 @@
 //
 //   ccsql tables [NAME] [--csv]       print controller tables
 //   ccsql sql "STMT[; STMT...]"       run SQL against the protocol database
-//   ccsql explain "SELECT"            show the optimized query plan with
-//                                     estimated vs actual row counts
+//   ccsql explain "SELECT" [--analyze]
+//                                     show the optimized query plan with
+//                                     estimated vs actual row counts;
+//                                     --analyze adds per-operator wall time,
+//                                     rows/batches/morsels, and memory
 //   ccsql invariants [-v]             run the invariant suite
 //   ccsql deadlock [ASSIGNMENT]       virtual-channel deadlock analysis
 //   ccsql map                         section 5 hardware-mapping flow
@@ -19,6 +22,9 @@
 //   --trace FILE               write a trace (format from extension)
 //   --trace-format FMT         text | jsonl | chrome
 //   --metrics                  collect + print the metrics summary
+//   --stats                    end-of-run one-page summary: top counters,
+//                              histogram p50/p95/max, pool utilization,
+//                              memory accounting (no trace file needed)
 //   --no-planner               run every query through the naive executor
 //                              (CCSQL_NO_PLANNER=1 does the same)
 //   --no-bytecode              evaluate predicates with the interpreted
@@ -34,10 +40,12 @@
 // environment do the same.
 //
 // All commands operate on the built-in ASURA reconstruction.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ccsql.hpp"
@@ -46,6 +54,7 @@
 #include "core/flow.hpp"
 #include "core/pool.hpp"
 #include "mapping/codegen.hpp"
+#include "obs/mem.hpp"
 #include "obs/obs.hpp"
 #include "plan/planner.hpp"
 #include "protocol/asura/asura.hpp"
@@ -85,7 +94,7 @@ int usage() {
       << "usage: ccsql COMMAND [ARGS]\n"
          "  tables [NAME] [--csv]    print controller tables\n"
          "  sql \"STMT[; ...]\"        run SQL against the protocol database\n"
-         "  explain \"SELECT\"         show the optimized query plan\n"
+         "  explain \"SELECT\" [--analyze]  show the optimized query plan\n"
          "  invariants [-v]          run the invariant suite\n"
          "  deadlock [ASSIGNMENT]    deadlock analysis (default: all)\n"
          "  map                      hardware-mapping flow\n"
@@ -95,7 +104,7 @@ int usage() {
          "  lint                     specification hygiene advisories\n"
          "  flow                     full push-button report\n"
          "global flags: --trace FILE [--trace-format text|jsonl|chrome] "
-         "--metrics --no-planner --no-bytecode --jobs N\n";
+         "--metrics --stats --no-planner --no-bytecode --jobs N\n";
   return 2;
 }
 
@@ -131,7 +140,11 @@ int cmd_sql(const ProtocolSpec& spec, const Args& args) {
 
 int cmd_explain(const ProtocolSpec& spec, const Args& args) {
   if (args.positional.empty()) return usage();
-  std::cout << spec.database().explain(args.positional[0]).plan;
+  const Database& db = spec.database();
+  std::cout << (args.has("--analyze")
+                    ? db.explain_analyze(args.positional[0])
+                    : db.explain(args.positional[0]))
+                   .plan;
   return 0;
 }
 
@@ -292,7 +305,7 @@ int configure_observability(const Args& args) {
     }
     tracer.set_sink(obs::open_trace_file(path, format));
   }
-  if (args.has("--metrics")) tracer.enable_metrics();
+  if (args.has("--metrics") || args.has("--stats")) tracer.enable_metrics();
   if (args.has("--no-planner")) plan::set_planner_enabled(false);
   if (args.has("--no-bytecode")) set_bytecode_enabled(false);
   if (args.has("--jobs")) {
@@ -305,6 +318,40 @@ int configure_observability(const Args& args) {
     core::Pool::set_default_jobs(static_cast<std::size_t>(jobs));
   }
   return 0;
+}
+
+/// End-of-run one-page summary for --stats: the top counters, histogram
+/// p50/p95/max, pool utilization, and memory accounting — no trace file
+/// needed.
+void print_stats_page(std::ostream& os) {
+  obs::Metrics& metrics = obs::Tracer::global().metrics();
+  core::Pool::global().publish_stats(metrics);
+  obs::MemTracker::global().publish(metrics);
+
+  os << "=== run stats ===\n";
+  auto counters = metrics.counters();
+  if (!counters.empty()) {
+    std::vector<std::pair<std::string, std::uint64_t>> ranked(
+        counters.begin(), counters.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (ranked.size() > 12) ranked.resize(12);
+    os << "top counters:\n";
+    for (const auto& [name, value] : ranked) {
+      os << "  " << name << " = " << value << "\n";
+    }
+  }
+  auto hists = metrics.histograms();
+  if (!hists.empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : hists) {
+      os << "  " << name << "  count=" << h.count << " p50=" << h.percentile(0.5)
+         << " p95=" << h.percentile(0.95) << " max=" << h.max << "\n";
+    }
+  }
+  os << core::Pool::global().stats().summary() << "\n";
+  os << obs::MemTracker::global().summary() << "\n";
 }
 
 int dispatch(const std::string& cmd, const Args& args) {
@@ -351,6 +398,13 @@ int main(int argc, char** argv) {
   }
 
   const std::string cmd = argv[1];
+  // Flushes and closes the trace sink however main unwinds — error returns,
+  // thrown exceptions — so JSONL/Chrome traces are never truncated
+  // mid-event.  finish() is idempotent: the explicit call below makes the
+  // guard a no-op on the normal path.
+  struct TraceFlushGuard {
+    ~TraceFlushGuard() { obs::Tracer::global().finish(); }
+  } flush_guard;
   int rc = 1;
   try {
     rc = configure_observability(args);
@@ -358,10 +412,16 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     rc = 1;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
+    rc = 1;
   }
   auto& tracer = obs::Tracer::global();
   const bool print_metrics = tracer.metrics_enabled();
+  if (args.has("--stats")) print_stats_page(std::cout);
   tracer.finish();  // flush + close the trace before the process exits
-  if (print_metrics) std::cout << tracer.metrics().summary();
+  if (print_metrics && !args.has("--stats")) {
+    std::cout << tracer.metrics().summary();
+  }
   return rc;
 }

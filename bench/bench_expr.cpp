@@ -218,6 +218,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   report_expr_speedup(g_smoke ? 4000 : 1'000'000);
-  print_metrics_summary();
+  finish_metrics("bench_expr");
   return 0;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -39,6 +41,9 @@ struct Pool::Worker {
   std::mutex mu;
   std::deque<Task> queue;
   std::thread thread;
+  // Written only by the owning worker thread; read by Pool::stats().
+  std::atomic<std::uint64_t> busy_nanos{0};
+  std::atomic<std::uint64_t> idle_nanos{0};
 };
 
 Pool::Pool(std::size_t threads) {
@@ -82,6 +87,54 @@ void Pool::set_default_jobs(std::size_t jobs) {
 
 int Pool::worker_id() noexcept { return t_worker_id; }
 
+PoolStats Pool::stats() const {
+  PoolStats s;
+  s.workers = workers_.size();
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.help_runs = help_runs_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.steal_failures = steal_failures_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    s.busy_nanos += w->busy_nanos.load(std::memory_order_relaxed);
+    s.idle_nanos += w->idle_nanos.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Pool::publish_stats(obs::Metrics& metrics) const {
+  const PoolStats s = stats();
+  metrics.set("pool.workers", s.workers);
+  metrics.set("pool.tasks_run", s.tasks_run);
+  metrics.set("pool.help_runs", s.help_runs);
+  metrics.set("pool.steals", s.steals);
+  metrics.set("pool.steal_failures", s.steal_failures);
+  metrics.set("pool.queue_high_water", s.queue_high_water);
+  metrics.set("pool.busy_nanos", s.busy_nanos);
+  metrics.set("pool.idle_nanos", s.idle_nanos);
+  metrics.set("pool.utilization_pct",
+              static_cast<std::uint64_t>(s.utilization() * 100.0 + 0.5));
+}
+
+double PoolStats::utilization() const noexcept {
+  const double denom =
+      static_cast<double>(busy_nanos) + static_cast<double>(idle_nanos);
+  return denom > 0 ? static_cast<double>(busy_nanos) / denom : 0.0;
+}
+
+std::string PoolStats::summary() const {
+  char util[16];
+  std::snprintf(util, sizeof(util), "%.1f%%", utilization() * 100.0);
+  std::string out = "pool: " + std::to_string(workers) + " workers, " +
+                    std::to_string(tasks_run) + " tasks (" +
+                    std::to_string(steals) + " stolen, " +
+                    std::to_string(help_runs) + " helped), " +
+                    std::to_string(steal_failures) + " empty sweeps, " +
+                    "queue high-water " + std::to_string(queue_high_water) +
+                    ", utilization " + util;
+  return out;
+}
+
 bool Pool::try_run_one() {
   const int self = t_worker_id;
   const std::size_t n = workers_.size();
@@ -104,9 +157,16 @@ bool Pool::try_run_one() {
         w.queue.pop_front();
       }
     }
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    if (self < 0) {
+      help_runs_.fetch_add(1, std::memory_order_relaxed);
+    } else if (k != 0) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+    }
     run_task(task);
     return true;
   }
+  steal_failures_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -123,10 +183,27 @@ void Pool::run_task(Task& task) noexcept {
 void Pool::worker_loop(std::size_t wid) {
   t_worker_id = static_cast<int>(wid);
   obs::set_current_worker(static_cast<int>(wid));
+  Worker& self = *workers_[wid];
+  auto mark = std::chrono::steady_clock::now();
+  const auto elapsed_nanos = [&mark] {
+    const auto now = std::chrono::steady_clock::now();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        now - mark)
+                        .count();
+    mark = now;
+    return static_cast<std::uint64_t>(ns > 0 ? ns : 0);
+  };
   while (!stop_.load(std::memory_order_relaxed)) {
-    if (try_run_one()) continue;
-    std::unique_lock<std::mutex> lock(sleep_mu_);
-    sleep_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    if (try_run_one()) {
+      // The interval covered the queue sweep plus the task body: busy.
+      self.busy_nanos.fetch_add(elapsed_nanos(), std::memory_order_relaxed);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+    self.idle_nanos.fetch_add(elapsed_nanos(), std::memory_order_relaxed);
   }
 }
 
@@ -159,10 +236,16 @@ void Pool::Group::run(std::function<void()> fn) {
       self >= 0 && static_cast<std::size_t>(self) < n
           ? static_cast<std::size_t>(self)
           : p.next_queue_.fetch_add(1, std::memory_order_relaxed) % n;
+  std::size_t depth = 0;
   {
     Worker& w = *p.workers_[target];
     std::lock_guard<std::mutex> lock(w.mu);
     w.queue.push_back(std::move(task));
+    depth = w.queue.size();
+  }
+  std::uint64_t hw = p.queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > hw && !p.queue_high_water_.compare_exchange_weak(
+                           hw, depth, std::memory_order_relaxed)) {
   }
   p.sleep_cv_.notify_one();
 }

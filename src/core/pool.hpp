@@ -25,13 +25,38 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+namespace ccsql::obs {
+class Metrics;
+}  // namespace ccsql::obs
+
 namespace ccsql::core {
+
+/// Snapshot of pool activity counters, cumulative since pool construction.
+/// busy/idle nanoseconds cover worker threads only (helping lanes in
+/// Group::wait are accounted in tasks_run/help_runs but keep no clock).
+struct PoolStats {
+  std::size_t workers = 0;
+  std::uint64_t tasks_run = 0;        // tasks executed on any lane
+  std::uint64_t help_runs = 0;        // of which: run by off-pool helpers
+  std::uint64_t steals = 0;           // worker takes from a sibling's queue
+  std::uint64_t steal_failures = 0;   // full sweeps that found every queue empty
+  std::uint64_t queue_high_water = 0; // max queue length seen on any worker
+  std::uint64_t busy_nanos = 0;       // summed worker time spent running tasks
+  std::uint64_t idle_nanos = 0;       // summed worker time spent waiting
+
+  /// busy / (busy + idle) over the worker threads; 0 with no workers.
+  [[nodiscard]] double utilization() const noexcept;
+  /// One line, e.g. `pool: 3 workers, 128 tasks (41 stolen), util 87.2%`.
+  [[nodiscard]] std::string summary() const;
+};
 
 class Pool {
  public:
@@ -61,6 +86,12 @@ class Pool {
   /// Worker-thread count (the pool supports size()+1 concurrent lanes: the
   /// workers plus the thread waiting in Group::wait).
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Snapshot of the activity counters (cheap: relaxed loads only).
+  [[nodiscard]] PoolStats stats() const;
+  /// Writes the snapshot as pool.* gauges into `metrics` (overwrite
+  /// semantics, so repeated publishes do not accumulate).
+  void publish_stats(obs::Metrics& metrics) const;
 
   /// A set of tasks completed together.  wait() (or the destructor) blocks
   /// until every task ran, helping with queued pool work meanwhile, and
@@ -119,6 +150,13 @@ class Pool {
   std::condition_variable sleep_cv_;
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<bool> stop_{false};
+
+  // Telemetry (relaxed: counters tolerate torn reads across each other).
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> help_runs_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_failures_{0};
+  std::atomic<std::uint64_t> queue_high_water_{0};
 };
 
 }  // namespace ccsql::core

@@ -1,5 +1,6 @@
 #include "obs/obs.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -66,6 +67,28 @@ void Histogram::observe(double value) {
   ++buckets[bucket];
 }
 
+double Histogram::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (static_cast<double>(seen) < target) continue;
+    // Bucket 0 covers [0, 1); bucket i >= 1 covers [2^(i-1), 2^i).
+    const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    const double hi = i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+    const double frac =
+        (target - before) / static_cast<double>(buckets[i]);
+    const double v = lo + frac * (hi - lo);
+    return std::max(min, std::min(max, v));
+  }
+  return max;
+}
+
 void Metrics::add(std::string_view counter, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(counter);
@@ -73,6 +96,16 @@ void Metrics::add(std::string_view counter, std::uint64_t delta) {
     counters_.emplace(std::string(counter), delta);
   } else {
     it->second += delta;
+  }
+}
+
+void Metrics::set(std::string_view counter, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), value);
+  } else {
+    it->second = value;
   }
 }
 
@@ -209,6 +242,11 @@ Tracer& Tracer::global() {
         m != nullptr && *m != '\0' && std::string_view(m) != "0") {
       t->enable_metrics();
     }
+    // The instance is leaked, so nothing ever runs its destructor; flush at
+    // exit instead so env-configured traces (benches, tools) are complete
+    // even when no code path calls finish() explicitly.  finish() is
+    // idempotent, so an explicit earlier call makes this a no-op.
+    std::atexit([] { Tracer::global().finish(); });
     return t;
   }();
   return *instance;

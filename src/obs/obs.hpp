@@ -147,12 +147,19 @@ struct Histogram {
 
   void observe(double value);
   [[nodiscard]] double mean() const { return count ? sum / count : 0.0; }
+  /// Approximate quantile (q in [0,1]) reconstructed from the log2 buckets
+  /// by linear interpolation inside the crossing bucket, clamped to
+  /// [min, max].  Exact for q=0/q=1; within a factor of 2 otherwise.
+  [[nodiscard]] double percentile(double q) const;
 };
 
 /// Named counters and histograms.  Thread-safe; snapshot accessors copy.
 class Metrics {
  public:
   void add(std::string_view counter, std::uint64_t delta = 1);
+  /// Overwrites a counter (gauge semantics — repeated publishes of pool or
+  /// memory snapshots must not accumulate).
+  void set(std::string_view counter, std::uint64_t value);
   void observe(std::string_view histogram, double value);
 
   [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;

@@ -1,8 +1,10 @@
 #include "plan/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/pool.hpp"
+#include "obs/mem.hpp"
 #include "obs/obs.hpp"
 #include "plan/vectorized.hpp"
 #include "relational/error.hpp"
@@ -53,6 +55,21 @@ struct Executor {
   }
 
   Table exec(PlanNode& node, std::size_t limit) {  // NOLINT(misc-no-recursion)
+    if (!ctx.analyze) return exec_impl(node, limit);
+    const auto t0 = std::chrono::steady_clock::now();
+    Table out = exec_impl(node, limit);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count();
+    ++node.stats.invocations;
+    node.stats.wall_micros += static_cast<std::uint64_t>(us > 0 ? us : 0);
+    node.stats.rows_out += out.row_count();
+    return out;
+  }
+
+  // NOLINTNEXTLINE(misc-no-recursion)
+  Table exec_impl(PlanNode& node, std::size_t limit) {
     Table out;
     switch (node.kind) {
       case PlanNode::Kind::kScan:
@@ -188,12 +205,15 @@ struct Executor {
   /// selection vector; --no-bytecode keeps the interpreted row loop.
   Table filter(const Table& src, const SchemaPtr& schema,
                const vec::RowFilter& pred, std::size_t limit,
-               std::size_t& visited) {
+               std::size_t& visited, OpStats& stats) {
     const std::size_t n = src.row_count();
     Table out(schema);
     if (go_parallel(limit, n)) {
       const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
+      stats.morsels += morsels;
       if (pred.vectorized()) {
+        // One morsel = one vectorized batch (kMorselGrain == kBatchRows).
+        stats.batches += morsels;
         std::vector<bc::Sel> hits(morsels);
         core::Pool::global().parallel_for(
             n, kMorselGrain, ctx.jobs,
@@ -230,6 +250,7 @@ struct Executor {
     if (pred.vectorized()) {
       bc::Sel sel;
       visited = pred.filter_range(src, 0, n, limit, sel);
+      stats.batches += (visited + vec::kBatchRows - 1) / vec::kBatchRows;
       out.reserve_rows(sel.size());
       for (std::uint32_t i : sel) out.append(src.row(i));
       return out;
@@ -249,13 +270,16 @@ struct Executor {
     if (node.child().is_scan()) {
       // Fused path: filter base rows in place, no intermediate copy.
       const Table& base = base_of(node.child());
-      Table out = filter(base, node.schema, pred, limit, visited);
+      Table out = filter(base, node.schema, pred, limit, visited, node.stats);
       node.child().actual_rows = visited;
+      node.stats.rows_in += visited;
       CCSQL_COUNT("query.rows_scanned", visited);
       return out;
     }
     Table in = exec(node.child(), kNoLimit);
-    return filter(in, node.schema, pred, limit, visited);
+    Table out = filter(in, node.schema, pred, limit, visited, node.stats);
+    node.stats.rows_in += visited;
+    return out;
   }
 
   /// Count over Select over Scan, evaluated without materialising the
@@ -273,6 +297,9 @@ struct Executor {
     vec::RowFilter pred(*sel.predicate, *sel.schema, full_of(sel),
                         ctx.functions);
     const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
+    node.stats.morsels += morsels;
+    node.stats.rows_in += n;
+    if (pred.vectorized()) node.stats.batches += morsels;
     std::vector<std::size_t> counts(morsels, 0);
     core::Pool::global().parallel_for(
         n, kMorselGrain, ctx.jobs,
@@ -313,6 +340,7 @@ struct Executor {
     // materialises and indexes its local result.
     const Table* right = nullptr;
     Table right_local;
+    obs::MemReservation build_mem;
     if (rhs.is_scan()) {
       right = &base_of(rhs);
       const bool cached = right->has_cached_index(rk);
@@ -321,8 +349,16 @@ struct Executor {
     } else {
       right_local = exec(rhs, kNoLimit);
       right = &right_local;
+      // The materialised build side is join-local memory; the index built
+      // over it is accounted by the table's index cache.
+      build_mem = obs::MemReservation(obs::MemTracker::Category::kHashBuilds,
+                                      right_local.memory_bytes());
     }
     const Table::IndexMap& index = right->index_on(rk, ctx.jobs);
+    node.stats.build_rows += right->row_count();
+    node.stats.build_keys += index.size();
+    node.stats.build_bytes +=
+        Table::index_memory_bytes(index) + build_mem.bytes();
 
     // Probe side: the left child, streamed straight off the base table when
     // it is a scan.
@@ -346,6 +382,7 @@ struct Executor {
       // result is row-for-row identical to the serial probe.
       const std::size_t n = left->row_count();
       const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
+      node.stats.morsels += morsels;
       std::vector<std::vector<Value>> parts(morsels);
       core::Pool::global().parallel_for(
           n, kMorselGrain, ctx.jobs,
@@ -390,6 +427,7 @@ struct Executor {
         }
       }
     }
+    node.stats.rows_in += visited;
     if (lhs.is_scan()) {
       lhs.actual_rows = visited;
       CCSQL_COUNT("query.rows_scanned", visited);

@@ -34,6 +34,9 @@ struct ExecContext {
   /// size, and per-morsel output is concatenated in morsel order.  Paths
   /// with a row budget (exists mode / LIMIT) always run serially.
   std::size_t jobs = 1;
+  /// EXPLAIN ANALYZE: time every operator and fill PlanNode::stats.  Costs
+  /// two steady_clock reads per operator invocation, so it defaults off.
+  bool analyze = false;
 };
 
 /// Executes `root`, producing at most `limit` rows (kNoLimit = all).

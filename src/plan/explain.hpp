@@ -19,4 +19,18 @@ namespace ccsql::plan {
 /// never executed show `actual=-`.
 [[nodiscard]] std::string render(const PlanNode& root);
 
+/// EXPLAIN ANALYZE rendering: render() plus a profile bracket per executed
+/// operator — inclusive and self wall time, rows in/out, vectorized batches,
+/// parallel morsels, selection density, and hash-join build size:
+///
+///   Select (a.st = "bad") (est=3.2, actual=1) [time=1.2ms self=1.2ms
+///       rows_in=4096 batches=4 sel=0.0%]
+///
+/// Self time is inclusive minus the children's inclusive sums.  Operators
+/// the executor fused into their parent (scan under select, scan build
+/// sides) never run their own exec() and are tagged `[fused]`; their work
+/// is attributed to the fusing operator.  Requires a plan executed with
+/// ExecContext::analyze set; nodes without stats render as plain render().
+[[nodiscard]] std::string render_analyze(const PlanNode& root);
+
 }  // namespace ccsql::plan

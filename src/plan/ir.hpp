@@ -30,6 +30,27 @@ inline constexpr std::size_t kNotExecuted = static_cast<std::size_t>(-1);
 struct PlanNode;
 using PlanPtr = std::unique_ptr<PlanNode>;
 
+/// Per-operator runtime profile, filled by the executor when
+/// ExecContext::analyze is set (EXPLAIN ANALYZE).  wall_micros is inclusive
+/// of children executed through exec(); exclusive (self) time is derived at
+/// render time as inclusive minus the children's inclusive sums.  Fused
+/// paths (select-over-scan, hash-join scan sides) never run the child's
+/// exec(), so the fused work stays attributed to the fusing operator and
+/// the child's wall time reads 0.
+struct OpStats {
+  std::uint64_t invocations = 0;   // exec() calls on this node
+  std::uint64_t wall_micros = 0;   // inclusive wall time
+  std::uint64_t rows_in = 0;       // input rows examined (filter/probe visits)
+  std::uint64_t rows_out = 0;      // rows produced
+  std::uint64_t batches = 0;       // vectorized batches evaluated
+  std::uint64_t morsels = 0;       // parallel morsels dispatched
+  std::uint64_t build_rows = 0;    // hash join: build-side rows indexed
+  std::uint64_t build_keys = 0;    // hash join: distinct keys in the index
+  std::uint64_t build_bytes = 0;   // hash join: estimated build memory
+
+  [[nodiscard]] bool executed() const noexcept { return invocations > 0; }
+};
+
 /// One operator of a query plan.  A single tagged struct (rather than a
 /// class hierarchy) keeps rewrites — which splice, replace and retype nodes
 /// constantly — simple.
@@ -84,6 +105,9 @@ struct PlanNode {
   /// rendered side by side by EXPLAIN.
   double est_rows = 0.0;
   std::size_t actual_rows = kNotExecuted;
+
+  /// Runtime profile; populated only under EXPLAIN ANALYZE.
+  OpStats stats;
 
   [[nodiscard]] PlanNode& child(std::size_t i = 0) { return *children[i]; }
   [[nodiscard]] const PlanNode& child(std::size_t i = 0) const {

@@ -38,6 +38,9 @@ struct PlannerOptions {
   /// Parallel lanes for execution (copied into ExecContext::jobs by the
   /// planner entry points); <= 1 runs serially.  Does not affect plan shape.
   std::size_t jobs = 1;
+  /// EXPLAIN ANALYZE: profile every operator (PlanNode::stats) and render
+  /// the profile next to est/actual.  Does not affect plan shape or rows.
+  bool analyze = false;
 };
 
 /// Rewrites `root` in place according to `opts`.

@@ -117,7 +117,8 @@ Table run_select(const Catalog& db, const SelectStmt& stmt,
                  const PlannerOptions& opts) {
   CCSQL_SPAN(span, "plan.query", "plan");
   PlanPtr root = plan_select(db, stmt, opts);
-  ExecContext ctx{&db, &db.functions(), opts.ident_schema, opts.jobs};
+  ExecContext ctx{&db, &db.functions(), opts.ident_schema, opts.jobs,
+                  opts.analyze};
   return execute(*root, ctx, opts.exists_only ? 1 : kNoLimit);
 }
 
@@ -156,9 +157,10 @@ Table cross_select(const Table& left, const Table& right, const Expr& pred,
 std::string explain(const Catalog& db, const SelectStmt& stmt,
                     const PlannerOptions& opts) {
   PlanPtr root = plan_select(db, stmt, opts);
-  ExecContext ctx{&db, &db.functions(), opts.ident_schema, opts.jobs};
+  ExecContext ctx{&db, &db.functions(), opts.ident_schema, opts.jobs,
+                  opts.analyze};
   (void)execute(*root, ctx, opts.exists_only ? 1 : kNoLimit);
-  return render(*root);
+  return opts.analyze ? render_analyze(*root) : render(*root);
 }
 
 std::string explain_sql(const Catalog& db, std::string_view select_text,

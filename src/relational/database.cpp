@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/pool.hpp"
+#include "obs/mem.hpp"
 #include "obs/obs.hpp"
 #include "plan/planner.hpp"
 #include "relational/expr.hpp"
@@ -79,6 +80,21 @@ QueryResult Database::explain(std::string_view select_text) const {
   const auto t0 = std::chrono::steady_clock::now();
   r.plan = plan::explain_sql(catalog_, select_text, opts);
   r.micros = micros_since(t0);
+  return r;
+}
+
+QueryResult Database::explain_analyze(std::string_view select_text) const {
+  QueryResult r;
+  r.planned = true;
+  r.jobs = jobs();
+  plan::PlannerOptions opts;
+  opts.jobs = r.jobs;
+  opts.analyze = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.plan = plan::explain_sql(catalog_, select_text, opts);
+  r.micros = micros_since(t0);
+  r.plan += obs::MemTracker::global().summary();
+  r.plan += "\n";
   return r;
 }
 

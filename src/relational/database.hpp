@@ -112,6 +112,12 @@ class Database {
   /// plan to show otherwise.
   [[nodiscard]] QueryResult explain(std::string_view select_text) const;
 
+  /// EXPLAIN ANALYZE: like explain(), but every operator is profiled (wall
+  /// time incl/self, rows in/out, batches, morsels, selection density,
+  /// hash-build sizes) and a process-memory summary line (tables / indexes /
+  /// hash builds, live and peak) is appended to the plan text.
+  [[nodiscard]] QueryResult explain_analyze(std::string_view select_text) const;
+
   /// Full-statement execution (CREATE TABLE AS / DROP / INSERT / SELECT),
   /// mutating the owned catalog.
   Table execute(std::string_view statement_text) {

@@ -8,6 +8,9 @@
 namespace ccsql {
 
 void Catalog::put(std::string name, Table table) {
+  table_mem_.insert_or_assign(
+      name, obs::MemReservation(obs::MemTracker::Category::kTables,
+                                table.memory_bytes()));
   tables_.insert_or_assign(std::move(name), std::move(table));
 }
 
@@ -94,6 +97,7 @@ Table Catalog::execute(const Statement& stmt) {
         throw BindError("drop table: unknown table " + stmt.table);
       }
       tables_.erase(tables_.find(stmt.table));
+      table_mem_.erase(stmt.table);
       return Table();
     }
     case Statement::Kind::kInsert: {
@@ -104,6 +108,9 @@ Table Catalog::execute(const Statement& stmt) {
       for (const auto& row : stmt.rows) {
         it->second.append_texts(row);
       }
+      table_mem_.insert_or_assign(
+          stmt.table, obs::MemReservation(obs::MemTracker::Category::kTables,
+                                          it->second.memory_bytes()));
       return Table();
     }
   }

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/mem.hpp"
 #include "relational/function_registry.hpp"
 #include "relational/parser.hpp"
 #include "relational/table.hpp"
@@ -60,6 +61,11 @@ class Catalog {
 
  private:
   std::map<std::string, Table, std::less<>> tables_;
+  /// MemTracker (kTables) reservations for the resident tables, keyed in
+  /// lockstep with tables_: put/drop/insert keep each entry equal to its
+  /// table's current memory_bytes().  Copying a catalog re-registers every
+  /// reservation (the copy really holds second buffers).
+  std::map<std::string, obs::MemReservation, std::less<>> table_mem_;
   FunctionRegistry functions_;
 };
 

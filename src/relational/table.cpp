@@ -382,7 +382,7 @@ const Table::IndexMap& Table::index_on(const std::vector<std::size_t>& columns,
     if (index_cache_) {
       auto it = index_cache_->find(columns);
       // std::map nodes are stable: the reference survives later inserts.
-      if (it != index_cache_->end()) return it->second;
+      if (it != index_cache_->end()) return it->second.map;
     }
   }
   // Build outside the lock: a pool worker building here can still take part
@@ -391,12 +391,25 @@ const Table::IndexMap& Table::index_on(const std::vector<std::size_t>& columns,
   // emplace below keeps the first and drops the duplicate — wasted work,
   // never a wrong answer.
   IndexMap m = build_index(columns, jobs);
+  obs::MemReservation mem(obs::MemTracker::Category::kIndexes,
+                          index_memory_bytes(m));
   std::lock_guard<std::mutex> lock(index_cache_mutex());
   if (!index_cache_) {
     index_cache_ =
-        std::make_shared<std::map<std::vector<std::size_t>, IndexMap>>();
+        std::make_shared<std::map<std::vector<std::size_t>, CachedIndex>>();
   }
-  return index_cache_->emplace(columns, std::move(m)).first->second;
+  return index_cache_
+      ->emplace(columns, CachedIndex{std::move(m), std::move(mem)})
+      .first->second.map;
+}
+
+std::size_t Table::index_memory_bytes(const IndexMap& index) {
+  std::size_t bytes = index.bucket_count() * sizeof(void*);
+  for (const auto& [key, rows] : index) {
+    bytes += sizeof(std::pair<TupleKey, std::vector<std::size_t>>) +
+             rows.capacity() * sizeof(std::size_t);
+  }
+  return bytes;
 }
 
 Table::IndexMap Table::build_index(const std::vector<std::size_t>& columns,

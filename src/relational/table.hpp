@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "relational/schema.hpp"
 #include "relational/value.hpp"
 
@@ -203,6 +204,18 @@ class Table {
   [[nodiscard]] bool has_cached_index(
       const std::vector<std::size_t>& columns) const;
 
+  // ---- Memory accounting ---------------------------------------------------
+
+  /// Approximate heap footprint of the row storage (capacity, not size —
+  /// the bytes actually held).  Schema and index cache are not included.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return data_.capacity() * sizeof(Value);
+  }
+
+  /// Approximate heap footprint of a secondary index: bucket array plus
+  /// per-key node and row-list storage.  O(keys).
+  [[nodiscard]] static std::size_t index_memory_bytes(const IndexMap& index);
+
  private:
   [[nodiscard]] std::size_t width() const noexcept {
     // A 0-column table still needs a nonzero stride of 0 handled specially;
@@ -222,6 +235,15 @@ class Table {
     if (index_cache_) index_cache_.reset();
   }
 
+  /// A built index plus the MemTracker reservation covering it.  The
+  /// reservation lives in the shared cache map, so the bytes release when
+  /// the last table copy drops (or invalidates) the cache — copies sharing
+  /// the cache never double-count.
+  struct CachedIndex {
+    IndexMap map;
+    obs::MemReservation mem;
+  };
+
   SchemaPtr schema_;
   std::vector<Value> data_;
   // Number of rows when width()==0 (data_ cannot encode them).
@@ -229,7 +251,7 @@ class Table {
   // Secondary indexes by column-index set, built lazily.  Shared between
   // copies (rows are identical until one of them mutates, which resets only
   // that copy's pointer).
-  mutable std::shared_ptr<std::map<std::vector<std::size_t>, IndexMap>>
+  mutable std::shared_ptr<std::map<std::vector<std::size_t>, CachedIndex>>
       index_cache_;
 };
 

@@ -139,6 +139,34 @@ TEST(Cli, FlowReportsDebugged) {
   EXPECT_NE(r.output.find("budget OK"), std::string::npos);
 }
 
+TEST(Cli, ExplainAnalyzeProfilesOperators) {
+  RunResult r = run(
+      "explain --analyze \"Select a.memmsg, b.inmsg, b.outmsg from D a, M b "
+      "where a.memmsg = b.inmsg and a.memmsg = \\\"wb\\\" and "
+      "not b.outmsg = \\\"compl\\\"\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("time="), std::string::npos);
+  EXPECT_NE(r.output.find("rows_out="), std::string::npos);
+  EXPECT_NE(r.output.find("build="), std::string::npos);
+  EXPECT_NE(r.output.find("memory:"), std::string::npos);
+  // Plain explain carries no profile brackets.
+  RunResult plain = run("explain \"Select dirst from D\"");
+  EXPECT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(plain.output.find("time="), std::string::npos);
+}
+
+TEST(Cli, StatsPrintsOnePageSummary) {
+#ifdef CCSQL_TRACING_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out (CCSQL_TRACING=OFF)";
+#endif
+  RunResult r = run("invariants --stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("=== run stats ==="), std::string::npos);
+  EXPECT_NE(r.output.find("pool:"), std::string::npos);
+  EXPECT_NE(r.output.find("memory:"), std::string::npos);
+  EXPECT_NE(r.output.find("p95="), std::string::npos);
+}
+
 TEST(Cli, SimMetricsPrintsCounterTable) {
 #ifdef CCSQL_TRACING_DISABLED
   GTEST_SKIP() << "instrumentation compiled out (CCSQL_TRACING=OFF)";

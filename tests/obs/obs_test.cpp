@@ -6,9 +6,11 @@
 
 #include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "obs/json_mini.hpp"
+#include "obs/mem.hpp"
 #include "obs/obs.hpp"
 
 namespace {
@@ -52,6 +54,38 @@ TEST(Histogram, Log2Buckets) {
   EXPECT_EQ(h.buckets[11], 1u);
 }
 
+TEST(Histogram, PercentilesAreOrderedAndClamped) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(10.0);
+  for (int i = 0; i < 10; ++i) h.observe(1000.0);
+  // All mass sits in two log2 buckets; interpolation stays within them and
+  // the result is clamped to the observed [min, max].
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double top = h.percentile(1.0);
+  EXPECT_GE(p50, h.min);
+  EXPECT_LT(p50, 16.0);  // inside the [8, 16) bucket holding the 10s
+  EXPECT_GE(p95, 512.0);  // inside the [512, 1024) bucket holding the 1000s
+  EXPECT_LE(p95, h.max);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, top);
+  EXPECT_DOUBLE_EQ(top, h.max);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Metrics, SetIsAGaugeNotACounter) {
+  Metrics m;
+  m.set("pool.workers", 8);
+  m.set("pool.workers", 4);  // republish overwrites, never accumulates
+  EXPECT_EQ(m.counter("pool.workers"), 4u);
+  m.add("pool.workers", 1);  // add still works on the same slot
+  EXPECT_EQ(m.counter("pool.workers"), 5u);
+}
+
 TEST(Metrics, CountersAccumulate) {
   Metrics m;
   m.add("a");
@@ -80,6 +114,61 @@ TEST(Metrics, SummaryAndJson) {
   EXPECT_EQ(v.at("counters").at("sim.msgs_sent").number, 7.0);
   EXPECT_EQ(v.at("histograms").at("sim.steps").at("count").number, 2.0);
   EXPECT_EQ(v.at("histograms").at("sim.steps").at("mean").number, 20.0);
+}
+
+// ---- memory accounting ------------------------------------------------------
+
+TEST(MemTracker, LivePeakPerCategoryAndTotal) {
+  MemTracker& t = MemTracker::global();
+  t.reset();
+  using Cat = MemTracker::Category;
+  t.add(Cat::kTables, 100);
+  t.add(Cat::kIndexes, 50);
+  EXPECT_EQ(t.usage(Cat::kTables).live, 100u);
+  EXPECT_EQ(t.usage(Cat::kIndexes).live, 50u);
+  EXPECT_EQ(t.total().live, 150u);
+  EXPECT_EQ(t.total().peak, 150u);
+  t.release(Cat::kTables, 100);
+  EXPECT_EQ(t.usage(Cat::kTables).live, 0u);
+  EXPECT_EQ(t.usage(Cat::kTables).peak, 100u);  // high-water persists
+  EXPECT_EQ(t.total().live, 50u);
+  EXPECT_EQ(t.total().peak, 150u);
+  t.reset();
+}
+
+TEST(MemTracker, ReservationRaiiCopyAndMove) {
+  MemTracker& t = MemTracker::global();
+  t.reset();
+  using Cat = MemTracker::Category;
+  {
+    MemReservation a(Cat::kHashBuilds, 64);
+    EXPECT_EQ(t.usage(Cat::kHashBuilds).live, 64u);
+    MemReservation b = a;  // a copy owns its own buffer: registers again
+    EXPECT_EQ(t.usage(Cat::kHashBuilds).live, 128u);
+    MemReservation c = std::move(b);  // a move only transfers ownership
+    EXPECT_EQ(t.usage(Cat::kHashBuilds).live, 128u);
+    EXPECT_EQ(c.bytes(), 64u);
+  }
+  EXPECT_EQ(t.usage(Cat::kHashBuilds).live, 0u);
+  EXPECT_EQ(t.usage(Cat::kHashBuilds).peak, 128u);
+  t.reset();
+}
+
+TEST(MemTracker, PublishWritesGaugesAndSummaryFormats) {
+  MemTracker& t = MemTracker::global();
+  t.reset();
+  t.add(MemTracker::Category::kTables, 2048);
+  Metrics m;
+  t.publish(m);
+  EXPECT_EQ(m.counter("mem.tables_live_bytes"), 2048u);
+  EXPECT_EQ(m.counter("mem.total_peak_bytes"), 2048u);
+  t.publish(m);  // gauges overwrite on republish
+  EXPECT_EQ(m.counter("mem.tables_live_bytes"), 2048u);
+  EXPECT_NE(t.summary().find("tables"), std::string::npos);
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3 << 20), "3.0 MiB");
+  t.reset();
 }
 
 // ---- spans ------------------------------------------------------------------

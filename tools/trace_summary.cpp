@@ -2,7 +2,9 @@
 //
 //   trace_summary TRACE.jsonl [--top N]
 //
-// Prints the spans ranked by total self-reported duration, the instant
+// Prints the spans ranked by exclusive (self) time — inclusive duration
+// minus the spans that closed inside it, tracked per worker lane so nested
+// executor spans don't double-count — plus inclusive totals, the instant
 // counts, and the counter/histogram rows the tracer flushed at finish().
 #include <algorithm>
 #include <cstdlib>
@@ -22,8 +24,15 @@ using ccsql::obs::json::JValue;
 
 struct SpanStats {
   std::uint64_t count = 0;
-  double total_us = 0;
+  double total_us = 0;  // inclusive (span duration)
+  double self_us = 0;   // exclusive: duration minus enclosed child spans
   double max_us = 0;
+};
+
+/// An open span on a worker lane's stack, accumulating the durations of the
+/// child spans that close inside it.
+struct Frame {
+  double child_us = 0;
 };
 
 int usage() {
@@ -57,6 +66,10 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, SpanStats> spans;     // "cat/name" -> stats
+  // One span stack per worker lane (the "worker" field; -1 = off-pool), so
+  // exclusive time attributes correctly in parallel traces: E events pop
+  // their lane's top frame and charge their duration to the new top.
+  std::map<int, std::vector<Frame>> lanes;
   std::map<std::string, std::uint64_t> instants;
   std::vector<std::pair<std::string, std::string>> counters;  // name, text
   std::uint64_t events = 0;
@@ -80,12 +93,24 @@ int main(int argc, char** argv) {
     const std::string ph = v.has("ph") ? v.at("ph").str : "";
     const std::string name = v.has("name") ? v.at("name").str : "?";
     const std::string cat = v.has("cat") ? v.at("cat").str : "?";
-    if (ph == "E") {
+    const int worker =
+        v.has("worker") ? static_cast<int>(v.at("worker").number) : -1;
+    if (ph == "B") {
+      lanes[worker].push_back(Frame{});
+    } else if (ph == "E") {
       SpanStats& s = spans[cat + "/" + name];
       ++s.count;
       const double dur = v.has("dur") ? v.at("dur").number : 0;
       s.total_us += dur;
       s.max_us = std::max(s.max_us, dur);
+      double self = dur;
+      auto& stack = lanes[worker];
+      if (!stack.empty()) {
+        self = std::max(0.0, dur - stack.back().child_us);
+        stack.pop_back();
+      }
+      if (!stack.empty()) stack.back().child_us += dur;
+      s.self_us += self;
     } else if (ph == "i") {
       ++instants[cat + "/" + name];
     } else if (ph == "C" && v.has("args")) {
@@ -113,13 +138,16 @@ int main(int argc, char** argv) {
     std::vector<std::pair<std::string, SpanStats>> ranked(spans.begin(),
                                                           spans.end());
     std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-      return a.second.total_us > b.second.total_us;
+      return a.second.self_us != b.second.self_us
+                 ? a.second.self_us > b.second.self_us
+                 : a.second.total_us > b.second.total_us;
     });
     if (ranked.size() > top) ranked.resize(top);
-    std::cout << "\ntop spans (by total duration):\n";
+    std::cout << "\ntop spans (by self time):\n";
     for (const auto& [key, s] : ranked) {
       std::cout << "  " << std::left << std::setw(32) << key << std::right
-                << std::setw(8) << s.count << " x  total "
+                << std::setw(8) << s.count << " x  self "
+                << static_cast<long long>(s.self_us) << " us  total "
                 << static_cast<long long>(s.total_us) << " us  max "
                 << static_cast<long long>(s.max_us) << " us\n";
     }
