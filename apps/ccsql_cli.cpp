@@ -58,6 +58,7 @@
 #include "obs/obs.hpp"
 #include "plan/planner.hpp"
 #include "protocol/asura/asura.hpp"
+#include "serve_driver.hpp"
 #include "sim/machine.hpp"
 
 namespace {
@@ -102,6 +103,11 @@ int usage() {
          "  sim [ASSIGNMENT] [--fig4] [--quads N] [--txns N] [--seed N]\n"
          "  reach [ASSIGNMENT] [--quads N] [--addrs N] [--ops N]\n"
          "  lint                     specification hygiene advisories\n"
+         "  serve [--sessions N] [--iterations N] [--no-cache]\n"
+         "        [--max-inflight N] [--writer N] [--script FILE] [-v]\n"
+         "                           multi-session serving loop (invariant\n"
+         "                           suite or a SQL script) over snapshots +\n"
+         "                           the prepared-statement cache\n"
          "  flow                     full push-button report\n"
          "global flags: --trace FILE [--trace-format text|jsonl|chrome] "
          "--metrics --stats --no-planner --no-bytecode --jobs N\n";
@@ -273,6 +279,22 @@ int cmd_lint(const ProtocolSpec& spec, const Args&) {
   return 0;
 }
 
+int cmd_serve(const ProtocolSpec& spec, const Args& args) {
+  apps::ServeCliOptions opts;
+  opts.sessions =
+      static_cast<std::size_t>(args.value_of("--sessions", 8));
+  opts.iterations =
+      static_cast<std::size_t>(args.value_of("--iterations", 1));
+  opts.use_cache = !args.has("--no-cache");
+  opts.max_inflight =
+      static_cast<std::size_t>(args.value_of("--max-inflight", 0));
+  opts.writer_swaps = static_cast<std::size_t>(args.value_of("--writer", 0));
+  opts.script_path = args.str_value_of("--script", "");
+  opts.verbose = args.has("-v");
+  if (opts.sessions == 0) return usage();
+  return apps::run_serve(spec, opts, std::cout);
+}
+
 int cmd_flow(const ProtocolSpec& spec, const Args&) {
   Flow flow(spec);
   FlowOptions opts;
@@ -352,6 +374,18 @@ void print_stats_page(std::ostream& os) {
   }
   os << core::Pool::global().stats().summary() << "\n";
   os << obs::MemTracker::global().summary() << "\n";
+  // Serving-layer digest, present only when a serve::Server published.
+  if (const std::uint64_t serve_queries = metrics.counter("serve.queries");
+      serve_queries != 0) {
+    os << "serve: queries=" << serve_queries << " (uncached "
+       << metrics.counter("serve.uncached_queries") << ")  plan_cache hits="
+       << metrics.counter("serve.plan_cache.hits")
+       << " misses=" << metrics.counter("serve.plan_cache.misses")
+       << " evictions=" << metrics.counter("serve.plan_cache.evictions")
+       << " entries=" << metrics.counter("serve.plan_cache.entries")
+       << "  snapshot.active=" << metrics.counter("serve.snapshot.active")
+       << "\n";
+  }
 }
 
 int dispatch(const std::string& cmd, const Args& args) {
@@ -366,6 +400,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "sim") return cmd_sim(*spec, args);
   if (cmd == "reach") return cmd_reach(*spec, args);
   if (cmd == "lint") return cmd_lint(*spec, args);
+  if (cmd == "serve") return cmd_serve(*spec, args);
   if (cmd == "flow") return cmd_flow(*spec, args);
   return usage();
 }
@@ -379,7 +414,9 @@ int main(int argc, char** argv) {
     if (argv[i][0] == '-') {
       const std::string flag = argv[i];
       args.flags.emplace_back(flag);
-      const bool string_valued = flag == "--trace" || flag == "--trace-format";
+      const bool string_valued = flag == "--trace" ||
+                                 flag == "--trace-format" ||
+                                 flag == "--script";
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         if (string_valued) {
           args.flags.emplace_back(argv[++i]);

@@ -1,0 +1,88 @@
+// ccsql_serve — the high-QPS serving front end over the protocol database.
+//
+//   ccsql_serve [--sessions N] [--iterations N] [--no-cache]
+//               [--max-inflight N] [--writer N] [--script FILE]
+//               [--jobs N] [--stats] [-v]
+//
+// Multiplexes N client sessions over the shared worker pool; each session
+// loops the paper's invariant suite (or the --script SELECT list) against
+// copy-on-write catalog snapshots, with parsing/planning amortized through
+// the prepared-statement cache.  --writer N regenerates a controller table
+// N times mid-run to demonstrate that readers never block (and never see a
+// torn catalog).  Exit status: 0 clean, 1 violations, 2 usage/setup error.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/pool.hpp"
+#include "obs/obs.hpp"
+#include "protocol/asura/asura.hpp"
+#include "serve_driver.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: ccsql_serve [--sessions N] [--iterations N] "
+               "[--no-cache] [--max-inflight N] [--writer N] "
+               "[--script FILE] [--jobs N] [--stats] [-v]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccsql::apps::ServeCliOptions opts;
+  bool stats = false;
+  std::size_t jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next_num = [&](std::size_t& out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0) return false;
+      out = static_cast<std::size_t>(v);
+      return true;
+    };
+    if (std::strcmp(a, "--sessions") == 0) {
+      if (!next_num(opts.sessions)) return usage();
+    } else if (std::strcmp(a, "--iterations") == 0) {
+      if (!next_num(opts.iterations)) return usage();
+    } else if (std::strcmp(a, "--max-inflight") == 0) {
+      if (!next_num(opts.max_inflight)) return usage();
+    } else if (std::strcmp(a, "--writer") == 0) {
+      if (!next_num(opts.writer_swaps)) return usage();
+    } else if (std::strcmp(a, "--jobs") == 0) {
+      if (!next_num(jobs) || jobs == 0) return usage();
+    } else if (std::strcmp(a, "--script") == 0) {
+      if (i + 1 >= argc) return usage();
+      opts.script_path = argv[++i];
+    } else if (std::strcmp(a, "--no-cache") == 0) {
+      opts.use_cache = false;
+    } else if (std::strcmp(a, "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(a, "-v") == 0) {
+      opts.verbose = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opts.sessions == 0) return usage();
+  if (jobs != 0) ccsql::core::Pool::set_default_jobs(jobs);
+  if (stats) ccsql::obs::Tracer::global().enable_metrics();
+
+  int rc = 1;
+  try {
+    auto spec = ccsql::asura::make_asura();
+    rc = ccsql::apps::run_serve(*spec, opts, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    rc = 1;
+  }
+  if (stats) {
+    std::cout << ccsql::obs::Tracer::global().metrics().summary();
+  }
+  ccsql::obs::Tracer::global().finish();
+  return rc;
+}

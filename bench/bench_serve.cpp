@@ -1,0 +1,137 @@
+// Experiment SERVE (DESIGN.md section 12): the high-QPS serving layer.
+//
+// Sweeps concurrent session counts over the ASURA invariant suite through
+// serve::Server — prepared-statement cache on — and reports QPS and
+// latency percentiles per point, plus two contrast legs:
+//
+//  - cache off at 64 sessions (every query re-parses, re-plans and
+//    re-compiles): the denominator of the cache speedup claim, and
+//  - a writer leg, 8 sessions querying while a writer thread regenerates a
+//    controller table on a cadence: readers must stay unblocked (QPS in
+//    the same regime) and correct (zero violations).
+//
+// Emitted as `# serve_qps {...}` JSON lines plus `bench.serve.*` metrics
+// in the ccsql-bench/1 document; `_qps` metrics are higher-is-better and
+// bench_diff treats them so.  `--smoke` trims the sweep (no 512-session
+// point, fewer queries per point) — the CI perf-smoke configuration.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+
+namespace {
+
+using namespace ccsql;
+using namespace ccsql::bench;
+
+bool g_smoke = false;
+
+std::vector<std::string> invariant_sqls() {
+  std::vector<std::string> out;
+  for (const auto& inv : asura_spec().invariants()) out.push_back(inv.sql);
+  return out;
+}
+
+struct Point {
+  std::size_t sessions = 0;
+  bool cache = true;
+  std::size_t writer_swaps = 0;
+  serve::DriveReport report;
+  serve::ServerStats stats;
+};
+
+/// One sweep point: a fresh Server over a fresh protocol database, driven
+/// until every session has run the suite `iterations` times.  Iterations
+/// scale inversely with the session count so each point measures a similar
+/// total query volume.
+Point run_point(const std::vector<std::string>& sqls, std::size_t sessions,
+                bool cache, std::size_t writer_swaps) {
+  Point p;
+  p.sessions = sessions;
+  p.cache = cache;
+  p.writer_swaps = writer_swaps;
+  serve::ServerOptions opts;
+  opts.use_plan_cache = cache;
+  serve::Server server(asura_spec().database(), opts);
+  serve::DriveOptions drive;
+  drive.sessions = sessions;
+  const std::size_t target_queries = g_smoke ? 4200 : 28000;
+  drive.iterations =
+      std::max<std::size_t>(1, target_queries / (sqls.size() * sessions));
+  drive.writer_swaps = writer_swaps;
+  if (writer_swaps > 0) {
+    drive.writer_table = asura_spec().controllers().front()->name();
+    drive.writer_period_us = 500;
+  }
+  p.report = serve::drive(server, sqls, drive);
+  p.stats = server.stats();
+  std::printf(
+      "# serve_qps {\"sessions\":%zu,\"cache\":%s,\"writer_swaps\":%llu,"
+      "\"queries\":%llu,\"violations\":%llu,\"qps\":%.0f,\"p50_us\":%u,"
+      "\"p95_us\":%u,\"cache_hits\":%llu,\"cache_misses\":%llu}\n",
+      sessions, cache ? "true" : "false",
+      static_cast<unsigned long long>(p.report.writer_swaps),
+      static_cast<unsigned long long>(p.report.queries),
+      static_cast<unsigned long long>(p.report.violations), p.report.qps(),
+      p.report.latency_percentile_us(0.5), p.report.latency_percentile_us(0.95),
+      static_cast<unsigned long long>(p.stats.cache.hits),
+      static_cast<unsigned long long>(p.stats.cache.misses));
+  return p;
+}
+
+void set_metric(const std::string& name, std::uint64_t value) {
+  obs::Tracer::global().metrics().set(name, value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  std::printf("# Experiment SERVE: sessions sweep over the invariant suite "
+              "(pool default_jobs = %zu)%s\n",
+              core::Pool::default_jobs(), g_smoke ? " (smoke)" : "");
+  enable_metrics();
+  const std::vector<std::string> sqls = invariant_sqls();
+
+  std::vector<std::size_t> sweep{1, 8, 64};
+  if (!g_smoke) sweep.push_back(512);
+  double qps64 = 0;
+  for (const std::size_t sessions : sweep) {
+    Point p = run_point(sqls, sessions, /*cache=*/true, /*writer_swaps=*/0);
+    const std::string prefix =
+        "bench.serve.s" + std::to_string(sessions) + "_";
+    set_metric(prefix + "qps", static_cast<std::uint64_t>(p.report.qps()));
+    set_metric(prefix + "p50_us", p.report.latency_percentile_us(0.5));
+    set_metric(prefix + "p95_us", p.report.latency_percentile_us(0.95));
+    if (sessions == 64) qps64 = p.report.qps();
+  }
+
+  // The speedup claim: cache vs re-parse/re-plan, both at 64 sessions.
+  Point nocache = run_point(sqls, 64, /*cache=*/false, /*writer_swaps=*/0);
+  set_metric("bench.serve.s64_nocache_qps",
+             static_cast<std::uint64_t>(nocache.report.qps()));
+  if (nocache.report.qps() > 0) {
+    set_metric("bench.serve.cache_speedup_pct",
+               static_cast<std::uint64_t>(qps64 / nocache.report.qps() * 100));
+  }
+
+  // Readers vs writer: swaps bump the catalog generation, invalidating
+  // cached plans; violations must stay zero throughout.
+  Point writer =
+      run_point(sqls, 8, /*cache=*/true, /*writer_swaps=*/g_smoke ? 5 : 40);
+  set_metric("bench.serve.writer_qps",
+             static_cast<std::uint64_t>(writer.report.qps()));
+  set_metric("bench.serve.writer_swaps", writer.report.writer_swaps);
+  set_metric("bench.serve.writer_violations", writer.report.violations);
+  set_metric("bench.serve.writer_invalidations",
+             writer.stats.cache.invalidations);
+
+  finish_metrics("bench_serve");
+  return writer.report.violations == 0 ? 0 : 1;
+}

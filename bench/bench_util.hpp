@@ -48,6 +48,7 @@ inline const char* metric_unit(const std::string& name) {
   if (ends_with("_ns") || ends_with("_nanos")) return "ns";
   if (ends_with("_bytes")) return "bytes";
   if (ends_with("_pct")) return "percent";
+  if (ends_with("_qps")) return "qps";
   return "count";
 }
 

@@ -92,6 +92,8 @@ const char* to_string(MemTracker::Category cat) noexcept {
       return "indexes";
     case MemTracker::Category::kHashBuilds:
       return "hash_builds";
+    case MemTracker::Category::kPlans:
+      return "plans";
   }
   return "?";
 }

@@ -29,8 +29,9 @@ class MemTracker {
     kTables = 0,      // catalog-resident table buffers
     kIndexes = 1,     // secondary indexes (Table::index_on cache)
     kHashBuilds = 2,  // materialised hash-join build sides
+    kPlans = 3,       // prepared-statement cache (serve::PlanCache)
   };
-  static constexpr unsigned kCategories = 3;
+  static constexpr unsigned kCategories = 4;
 
   MemTracker() = default;
   MemTracker(const MemTracker&) = delete;

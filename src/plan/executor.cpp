@@ -157,7 +157,7 @@ struct Executor {
         break;
       }
     }
-    node.actual_rows = out.row_count();
+    if (ctx.record) node.actual_rows = out.row_count();
     return out;
   }
 
@@ -264,21 +264,63 @@ struct Executor {
   }
 
   Table select(PlanNode& node, std::size_t limit) {
-    vec::RowFilter pred(*node.predicate, *node.schema, full_of(node),
-                        ctx.functions);
+    // A cached plan carries its predicate pre-compiled (shared across
+    // concurrent executions); otherwise compile here, per execution.
+    std::optional<vec::RowFilter> local;
+    const vec::RowFilter& pred =
+        node.compiled ? *node.compiled
+                      : local.emplace(*node.predicate, *node.schema,
+                                      full_of(node), ctx.functions);
     std::size_t visited = 0;
+    OpStats scratch;  // discarded stats sink for record-off executions
+    OpStats& stats = ctx.record ? node.stats : scratch;
+    if (node.child().kind == PlanNode::Kind::kIndexLookup) {
+      // Fused path: evaluate the predicate on base rows straight out of the
+      // index bucket.  Skips materialising the (possibly large) lookup
+      // result — with a row budget of 1 (exists mode) this stops at the
+      // first passing row.  Sound because an IndexLookup's schema is
+      // positionally identical to its base table's.
+      PlanNode& lookup = node.child();
+      const Table& base = base_of(lookup);
+      std::vector<std::size_t> cols;
+      cols.reserve(lookup.columns.size());
+      for (const auto& name : lookup.columns) {
+        cols.push_back(lookup.schema->index_of(name));
+      }
+      const bool cached = base.has_cached_index(cols);
+      const Table::IndexMap& index = base.index_on(cols);
+      CCSQL_COUNT(cached ? "plan.index_hits" : "plan.index_builds", 1);
+      Table out(node.schema);
+      auto it = index.find(Table::index_key(lookup.key_values));
+      if (it != index.end()) {
+        for (std::size_t i : it->second) {
+          if (out.row_count() >= limit) break;
+          ++visited;
+          RowView r = base.row(i);
+          if (pred.eval(r)) out.append(r);
+        }
+      }
+      if (ctx.record) {
+        lookup.actual_rows = visited;
+        node.stats.rows_in += visited;
+      }
+      CCSQL_COUNT("query.rows_scanned", visited);
+      return out;
+    }
     if (node.child().is_scan()) {
       // Fused path: filter base rows in place, no intermediate copy.
       const Table& base = base_of(node.child());
-      Table out = filter(base, node.schema, pred, limit, visited, node.stats);
-      node.child().actual_rows = visited;
-      node.stats.rows_in += visited;
+      Table out = filter(base, node.schema, pred, limit, visited, stats);
+      if (ctx.record) {
+        node.child().actual_rows = visited;
+        node.stats.rows_in += visited;
+      }
       CCSQL_COUNT("query.rows_scanned", visited);
       return out;
     }
     Table in = exec(node.child(), kNoLimit);
-    Table out = filter(in, node.schema, pred, limit, visited, node.stats);
-    node.stats.rows_in += visited;
+    Table out = filter(in, node.schema, pred, limit, visited, stats);
+    if (ctx.record) node.stats.rows_in += visited;
     return out;
   }
 
@@ -294,12 +336,17 @@ struct Executor {
     const Table& base = base_of(sel.child());
     const std::size_t n = base.row_count();
     if (!go_parallel(kNoLimit, n)) return false;
-    vec::RowFilter pred(*sel.predicate, *sel.schema, full_of(sel),
-                        ctx.functions);
+    std::optional<vec::RowFilter> local;
+    const vec::RowFilter& pred =
+        sel.compiled ? *sel.compiled
+                     : local.emplace(*sel.predicate, *sel.schema, full_of(sel),
+                                     ctx.functions);
     const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
-    node.stats.morsels += morsels;
-    node.stats.rows_in += n;
-    if (pred.vectorized()) node.stats.batches += morsels;
+    if (ctx.record) {
+      node.stats.morsels += morsels;
+      node.stats.rows_in += n;
+      if (pred.vectorized()) node.stats.batches += morsels;
+    }
     std::vector<std::size_t> counts(morsels, 0);
     core::Pool::global().parallel_for(
         n, kMorselGrain, ctx.jobs,
@@ -318,8 +365,10 @@ struct Executor {
         });
     total = 0;
     for (std::size_t c : counts) total += c;
-    sel.actual_rows = total;
-    sel.child().actual_rows = n;
+    if (ctx.record) {
+      sel.actual_rows = total;
+      sel.child().actual_rows = n;
+    }
     CCSQL_COUNT("query.rows_scanned", n);
     return true;
   }
@@ -345,7 +394,7 @@ struct Executor {
       right = &base_of(rhs);
       const bool cached = right->has_cached_index(rk);
       CCSQL_COUNT(cached ? "plan.index_hits" : "plan.index_builds", 1);
-      rhs.actual_rows = right->row_count();
+      if (ctx.record) rhs.actual_rows = right->row_count();
     } else {
       right_local = exec(rhs, kNoLimit);
       right = &right_local;
@@ -355,10 +404,12 @@ struct Executor {
                                       right_local.memory_bytes());
     }
     const Table::IndexMap& index = right->index_on(rk, ctx.jobs);
-    node.stats.build_rows += right->row_count();
-    node.stats.build_keys += index.size();
-    node.stats.build_bytes +=
-        Table::index_memory_bytes(index) + build_mem.bytes();
+    if (ctx.record) {
+      node.stats.build_rows += right->row_count();
+      node.stats.build_keys += index.size();
+      node.stats.build_bytes +=
+          Table::index_memory_bytes(index) + build_mem.bytes();
+    }
 
     // Probe side: the left child, streamed straight off the base table when
     // it is a scan.
@@ -382,7 +433,7 @@ struct Executor {
       // result is row-for-row identical to the serial probe.
       const std::size_t n = left->row_count();
       const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
-      node.stats.morsels += morsels;
+      if (ctx.record) node.stats.morsels += morsels;
       std::vector<std::vector<Value>> parts(morsels);
       core::Pool::global().parallel_for(
           n, kMorselGrain, ctx.jobs,
@@ -427,11 +478,11 @@ struct Executor {
         }
       }
     }
-    node.stats.rows_in += visited;
-    if (lhs.is_scan()) {
-      lhs.actual_rows = visited;
-      CCSQL_COUNT("query.rows_scanned", visited);
+    if (ctx.record) {
+      node.stats.rows_in += visited;
+      if (lhs.is_scan()) lhs.actual_rows = visited;
     }
+    if (lhs.is_scan()) CCSQL_COUNT("query.rows_scanned", visited);
     return out;
   }
 };
@@ -444,6 +495,17 @@ Table execute(PlanNode& root, const ExecContext& ctx, std::size_t limit) {
   Table out = ex.exec(root, limit);
   span.arg("rows", out.row_count());
   return out;
+}
+
+Table execute(const PlanNode& root, const ExecContext& ctx,
+              std::size_t limit) {
+  // With record (and therefore analyze) off, the executor never writes a
+  // PlanNode field, so the const_cast is sound and one cached plan can be
+  // executed concurrently from any number of threads.
+  ExecContext read_only = ctx;
+  read_only.record = false;
+  read_only.analyze = false;
+  return execute(const_cast<PlanNode&>(root), read_only, limit);
 }
 
 }  // namespace ccsql::plan

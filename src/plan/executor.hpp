@@ -37,10 +37,21 @@ struct ExecContext {
   /// EXPLAIN ANALYZE: time every operator and fill PlanNode::stats.  Costs
   /// two steady_clock reads per operator invocation, so it defaults off.
   bool analyze = false;
+  /// Write runtime state (actual_rows, OpStats row counts) into the plan
+  /// nodes.  On by default — EXPLAIN reads it after execution.  The const
+  /// execute() overload clears it so a shared cached plan can run on many
+  /// threads at once without cloning (the tree is never written).
+  bool record = true;
 };
 
 /// Executes `root`, producing at most `limit` rows (kNoLimit = all).
 Table execute(PlanNode& root, const ExecContext& ctx,
+              std::size_t limit = kNoLimit);
+
+/// Read-only execution of a shared plan (prepared-statement cache): forces
+/// ctx.record/analyze off, so the tree is not mutated and concurrent
+/// executions of the same PlanNode tree are race-free.
+Table execute(const PlanNode& root, const ExecContext& ctx,
               std::size_t limit = kNoLimit);
 
 }  // namespace ccsql::plan

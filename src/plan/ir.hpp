@@ -22,6 +22,10 @@
 
 namespace ccsql::plan {
 
+namespace vec {
+class RowFilter;
+}  // namespace vec
+
 /// "No limit" sentinel for row budgets.
 inline constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
 /// actual_rows value of a node that has not been executed.
@@ -81,6 +85,12 @@ struct PlanNode {
 
   // -- kSelect ----------------------------------------------------------------
   std::optional<Expr> predicate;
+  /// Pre-compiled predicate (prepared-statement cache).  When set, the
+  /// executor evaluates it instead of compiling `predicate` per execution.
+  /// Shared — clone_plan copies the pointer — and immutable: RowFilter
+  /// evaluation is const and thread-safe, so concurrent sessions executing
+  /// clones of one cached plan reuse a single compiled artifact.
+  std::shared_ptr<const vec::RowFilter> compiled;
 
   // -- kProject (projection list) / kIndexLookup (key columns) ---------------
   std::vector<std::string> columns;  // names in this node's schema
@@ -122,6 +132,13 @@ struct PlanNode {
 };
 
 [[nodiscard]] PlanPtr make_node(PlanNode::Kind kind);
+
+/// Deep copy of a plan tree with fresh (unexecuted) runtime state:
+/// actual_rows / stats reset, everything else — including the shared
+/// pre-compiled predicates — carried over.  The executor mutates the nodes
+/// it runs, so a cached plan is cloned once per execution and the cached
+/// original stays immutable.
+[[nodiscard]] PlanPtr clone_plan(const PlanNode& root);
 
 /// Returns "Scan", "HashJoin", ... for tests and diagnostics.
 [[nodiscard]] std::string_view to_string(PlanNode::Kind kind) noexcept;

@@ -238,6 +238,10 @@ std::size_t try_lower_index(PlanPtr& node, const PlannerOptions& opts) {
     } else {
       continue;
     }
+    // An unbound $N parameter is not a literal: interning it here would
+    // silently probe for its slot number.  Leave the predicate in place so
+    // filter compilation raises BindError.
+    if (lit->kind == Atom::Kind::kParam) continue;
     if (!scan.schema->has(col->text)) continue;
     key_cols.push_back(col->text);
     key_vals.push_back(Symbol::intern(lit->text));

@@ -539,6 +539,10 @@ struct BcCompiler {
   std::vector<std::uint32_t>& roots;
 
   std::uint32_t operand(const Atom& a) const {
+    if (a.kind == Atom::Kind::kParam) {
+      throw BindError("unbound parameter $" + a.text +
+                      " (prepare and bind before compiling)");
+    }
     bc::Operand op;
     if (a.kind == Atom::Kind::kIdent && full_schema.has(a.text)) {
       op.is_column = true;

@@ -1,11 +1,13 @@
 #include "relational/database.hpp"
 
+#include <atomic>
 #include <chrono>
 
 #include "core/pool.hpp"
 #include "obs/mem.hpp"
 #include "obs/obs.hpp"
 #include "plan/planner.hpp"
+#include "relational/error.hpp"
 #include "relational/expr.hpp"
 
 namespace ccsql {
@@ -18,7 +20,130 @@ std::uint64_t micros_since(std::chrono::steady_clock::time_point t0) {
           .count());
 }
 
+/// Live Snapshot handles, process-wide (the serve.snapshot.active gauge).
+std::atomic<std::size_t> g_active_snapshots{0};
+
 }  // namespace
+
+// ---- Snapshot ---------------------------------------------------------------
+
+Snapshot::Snapshot(std::shared_ptr<const Catalog> state,
+                   std::uint64_t generation, std::optional<bool> use_planner,
+                   std::size_t jobs)
+    : state_(std::move(state)),
+      generation_(generation),
+      use_planner_(use_planner),
+      jobs_(jobs) {
+  if (state_) g_active_snapshots.fetch_add(1, std::memory_order_relaxed);
+}
+
+Snapshot::Snapshot(const Snapshot& other)
+    : state_(other.state_),
+      generation_(other.generation_),
+      use_planner_(other.use_planner_),
+      jobs_(other.jobs_) {
+  if (state_) g_active_snapshots.fetch_add(1, std::memory_order_relaxed);
+}
+
+Snapshot::Snapshot(Snapshot&& other) noexcept
+    : state_(std::move(other.state_)),
+      generation_(other.generation_),
+      use_planner_(other.use_planner_),
+      jobs_(other.jobs_) {
+  other.state_.reset();
+}
+
+Snapshot& Snapshot::operator=(const Snapshot& other) {
+  if (this != &other) {
+    if (other.state_ && !state_) {
+      g_active_snapshots.fetch_add(1, std::memory_order_relaxed);
+    } else if (!other.state_ && state_) {
+      g_active_snapshots.fetch_sub(1, std::memory_order_relaxed);
+    }
+    state_ = other.state_;
+    generation_ = other.generation_;
+    use_planner_ = other.use_planner_;
+    jobs_ = other.jobs_;
+  }
+  return *this;
+}
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    if (state_) g_active_snapshots.fetch_sub(1, std::memory_order_relaxed);
+    state_ = std::move(other.state_);
+    other.state_.reset();
+    generation_ = other.generation_;
+    use_planner_ = other.use_planner_;
+    jobs_ = other.jobs_;
+  }
+  return *this;
+}
+
+Snapshot::~Snapshot() {
+  if (state_) g_active_snapshots.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t Snapshot::active() noexcept {
+  return g_active_snapshots.load(std::memory_order_relaxed);
+}
+
+std::size_t Snapshot::jobs() const {
+  return jobs_ != 0 ? jobs_ : core::Pool::default_jobs();
+}
+
+bool Snapshot::planner_on() const {
+  return use_planner_.value_or(plan::planner_enabled());
+}
+
+QueryResult Snapshot::query(std::string_view select_text) const {
+  return query(parse_select(select_text));
+}
+
+QueryResult Snapshot::query(const SelectStmt& stmt) const {
+  if (!state_) throw BindError("query on empty snapshot");
+  QueryResult r;
+  r.planned = planner_on();
+  r.jobs = jobs();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (r.planned) {
+    plan::PlannerOptions opts;
+    opts.jobs = r.jobs;
+    r.rows = plan::run_select(*state_, stmt, opts);
+  } else {
+    r.rows = state_->run_naive(stmt);
+  }
+  r.micros = micros_since(t0);
+  return r;
+}
+
+bool Snapshot::check_empty(std::string_view invariant_text) const {
+  for (const SelectStmt& s : parse_invariant(invariant_text)) {
+    if (!check_empty(s)) return false;
+  }
+  return true;
+}
+
+bool Snapshot::check_empty(const SelectStmt& stmt) const {
+  if (!state_) throw BindError("check_empty on empty snapshot");
+  if (planner_on()) {
+    plan::PlannerOptions opts;
+    opts.exists_only = true;
+    return plan::run_select(*state_, stmt, opts).row_count() == 0;
+  }
+  return state_->run_naive(stmt).row_count() == 0;
+}
+
+// ---- Database ---------------------------------------------------------------
+
+Snapshot Database::snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (!snap_cache_ || snap_gen_ != catalog_.generation()) {
+    snap_cache_ = std::make_shared<const Catalog>(catalog_);
+    snap_gen_ = catalog_.generation();
+  }
+  return Snapshot(snap_cache_, snap_gen_, use_planner_, jobs_);
+}
 
 std::size_t Database::jobs() const {
   return jobs_ != 0 ? jobs_ : core::Pool::default_jobs();

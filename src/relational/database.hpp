@@ -20,6 +20,8 @@
 // production code goes through Database.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -46,10 +48,93 @@ struct QueryResult {
   [[nodiscard]] bool empty() const noexcept { return rows.row_count() == 0; }
 };
 
+/// An immutable point-in-time view of a Database's catalog, plus the
+/// session settings it was taken with.  Cheap to copy (a shared_ptr and a
+/// few scalars); safe to query from any thread.  The tables — rows and
+/// their lazily-built TupleKey indexes — are shared with whatever versions
+/// the live catalog still holds, and stay valid after the live side
+/// regenerates them: a writer swap never blocks or invalidates a reader.
+class Snapshot {
+ public:
+  /// An empty snapshot; queries throw until one is assigned.
+  Snapshot() = default;
+  Snapshot(const Snapshot& other);
+  Snapshot(Snapshot&& other) noexcept;
+  Snapshot& operator=(const Snapshot& other);
+  Snapshot& operator=(Snapshot&& other) noexcept;
+  ~Snapshot();
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  /// The catalog generation this snapshot captured.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  /// The frozen catalog.  Shared: every snapshot of one generation is the
+  /// same Catalog object.
+  [[nodiscard]] const Catalog& catalog() const { return *state_; }
+  [[nodiscard]] const std::shared_ptr<const Catalog>& shared_catalog()
+      const noexcept {
+    return state_;
+  }
+  [[nodiscard]] std::size_t jobs() const;
+  [[nodiscard]] bool planner_on() const;
+
+  /// SELECT / invariant evaluation against the frozen catalog, with the
+  /// originating session's planner/jobs settings.  Same semantics as the
+  /// Database methods of the same names.
+  [[nodiscard]] QueryResult query(std::string_view select_text) const;
+  [[nodiscard]] QueryResult query(const SelectStmt& stmt) const;
+  [[nodiscard]] bool check_empty(std::string_view invariant_text) const;
+  [[nodiscard]] bool check_empty(const SelectStmt& stmt) const;
+
+  /// Live snapshot handles process-wide — the serve.snapshot.active gauge.
+  [[nodiscard]] static std::size_t active() noexcept;
+
+ private:
+  friend class Database;
+  Snapshot(std::shared_ptr<const Catalog> state, std::uint64_t generation,
+           std::optional<bool> use_planner, std::size_t jobs);
+
+  std::shared_ptr<const Catalog> state_;
+  std::uint64_t generation_ = 0;
+  std::optional<bool> use_planner_;
+  std::size_t jobs_ = 0;
+};
+
 class Database {
  public:
   Database() = default;
   explicit Database(Catalog catalog) : catalog_(std::move(catalog)) {}
+  // Copies and moves carry the catalog and session settings; the snapshot
+  // cache (and its mutex) is per-object and starts cold in the destination.
+  Database(const Database& other)
+      : catalog_(other.catalog_),
+        use_planner_(other.use_planner_),
+        jobs_(other.jobs_) {}
+  Database(Database&& other) noexcept
+      : catalog_(std::move(other.catalog_)),
+        use_planner_(other.use_planner_),
+        jobs_(other.jobs_) {}
+  Database& operator=(const Database& other) {
+    if (this != &other) {
+      catalog_ = other.catalog_;
+      use_planner_ = other.use_planner_;
+      jobs_ = other.jobs_;
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      snap_cache_.reset();
+    }
+    return *this;
+  }
+  Database& operator=(Database&& other) noexcept {
+    if (this != &other) {
+      catalog_ = std::move(other.catalog_);
+      use_planner_ = other.use_planner_;
+      jobs_ = other.jobs_;
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      snap_cache_.reset();
+    }
+    return *this;
+  }
 
   // ---- session settings ----------------------------------------------------
 
@@ -90,10 +175,24 @@ class Database {
   [[nodiscard]] const FunctionRegistry& functions() const noexcept {
     return catalog_.functions();
   }
-  [[nodiscard]] const std::map<std::string, Table, std::less<>>& tables()
-      const noexcept {
+  [[nodiscard]] const Catalog::TableMap& tables() const noexcept {
     return catalog_.tables();
   }
+
+  /// Catalog mutation counter (see Catalog::generation).
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return catalog_.generation();
+  }
+
+  // ---- snapshots -----------------------------------------------------------
+
+  /// An immutable view of the catalog as of now.  All snapshots taken at
+  /// one generation share a single frozen Catalog (the copy is made at most
+  /// once per generation and cached), so acquisition is a pointer copy in
+  /// the steady state.  The caller must serialize snapshot() against
+  /// catalog mutations (as serve::Server does); concurrent snapshot()
+  /// calls against a quiescent catalog are safe.
+  [[nodiscard]] Snapshot snapshot() const;
 
   // ---- queries -------------------------------------------------------------
 
@@ -134,6 +233,11 @@ class Database {
   Catalog catalog_;
   std::optional<bool> use_planner_;
   std::size_t jobs_ = 0;  // 0 = follow the process-wide default
+  /// One frozen Catalog per generation, shared by every snapshot taken at
+  /// that generation.  Rebuilt lazily when the generation moves on.
+  mutable std::mutex snap_mu_;
+  mutable std::shared_ptr<const Catalog> snap_cache_;
+  mutable std::uint64_t snap_gen_ = 0;
 };
 
 }  // namespace ccsql

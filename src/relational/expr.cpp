@@ -85,10 +85,58 @@ void collect_columns(const Expr& e, const Schema& full,
 
 std::string atom_str(const Atom& a) {
   if (a.kind == Atom::Kind::kQuoted) return "\"" + a.text + "\"";
+  if (a.kind == Atom::Kind::kParam) return "$" + a.text;
   return a.text;
 }
 
+void collect_param_max(const Expr& e, std::size_t& max_slot) {
+  for (const auto& a : e.atoms()) {
+    if (a.kind == Atom::Kind::kParam) {
+      max_slot = std::max(max_slot, a.param_slot());
+    }
+  }
+  for (const auto& c : e.children()) collect_param_max(c, max_slot);
+}
+
+Atom bind_atom(const Atom& a, const std::vector<std::string>& values) {
+  if (a.kind != Atom::Kind::kParam) return a;
+  const std::size_t slot = a.param_slot();
+  if (slot == 0 || slot > values.size()) {
+    throw BindError("bind_params: no value for parameter $" + a.text + " (" +
+                    std::to_string(values.size()) + " bound)");
+  }
+  return Atom::quoted(values[slot - 1]);
+}
+
 }  // namespace
+
+std::size_t Atom::param_slot() const {
+  std::size_t slot = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return 0;
+    slot = slot * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return slot;
+}
+
+std::size_t Expr::param_count() const {
+  std::size_t max_slot = 0;
+  collect_param_max(*this, max_slot);
+  return max_slot;
+}
+
+Expr Expr::bind_params(const std::vector<std::string>& values) const {
+  Expr e;
+  e.op_ = op_;
+  e.bool_value_ = bool_value_;
+  e.negated_ = negated_;
+  e.callee_ = callee_;
+  e.atoms_.reserve(atoms_.size());
+  for (const auto& a : atoms_) e.atoms_.push_back(bind_atom(a, values));
+  e.children_.reserve(children_.size());
+  for (const auto& c : children_) e.children_.push_back(c.bind_params(values));
+  return e;
+}
 
 std::vector<std::string> Expr::referenced_columns(const Schema& full) const {
   std::vector<std::string> out;
@@ -242,6 +290,10 @@ struct Compiler {
   const FunctionRegistry* functions;
 
   Operand operand(const Atom& a) const {
+    if (a.kind == Atom::Kind::kParam) {
+      throw BindError("unbound parameter $" + a.text +
+                      " (prepare and bind before compiling)");
+    }
     Operand op;
     if (a.kind == Atom::Kind::kIdent && full_schema.has(a.text)) {
       op.is_column = true;

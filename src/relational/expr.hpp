@@ -16,14 +16,23 @@ namespace ccsql {
 /// identifier names a column of the *full* table schema it denotes that
 /// column, otherwise it denotes the value literal with that spelling
 /// (the paper writes both `dirst = "MESI"` and `dirpv = zero`).
-/// Quoted strings always denote value literals.
+/// Quoted strings always denote value literals.  Parameter atoms (`$1`,
+/// `$2`, ...) are placeholders for prepared statements: bind_params
+/// substitutes a quoted literal per slot before planning; compiling an
+/// expression that still contains one is a BindError.
 struct Atom {
-  enum class Kind { kIdent, kQuoted };
+  enum class Kind { kIdent, kQuoted, kParam };
   Kind kind = Kind::kIdent;
-  std::string text;
+  std::string text;  // for kParam: the decimal slot number (1-based)
 
   static Atom ident(std::string t) { return {Kind::kIdent, std::move(t)}; }
   static Atom quoted(std::string t) { return {Kind::kQuoted, std::move(t)}; }
+  static Atom param(std::size_t slot) {
+    return {Kind::kParam, std::to_string(slot)};
+  }
+
+  /// The 1-based slot of a kParam atom.
+  [[nodiscard]] std::size_t param_slot() const;
 
   friend bool operator==(const Atom&, const Atom&) = default;
 };
@@ -79,6 +88,14 @@ class Expr {
 
   /// Renders the expression back to constraint-language text.
   [[nodiscard]] std::string to_string() const;
+
+  /// Highest parameter slot ($N) referenced anywhere in the expression;
+  /// 0 when the expression is parameter-free.
+  [[nodiscard]] std::size_t param_count() const;
+
+  /// A copy with every $i replaced by values[i-1] as a quoted literal.
+  /// Throws BindError when a referenced slot has no value.
+  [[nodiscard]] Expr bind_params(const std::vector<std::string>& values) const;
 
  private:
   Op op_;

@@ -96,6 +96,19 @@ std::vector<Token> lex(std::string_view text) {
         i = j + 1;
         continue;
       }
+      case '$': {
+        // Parameter placeholder: $1, $2, ... ('?' is taken by the ternary).
+        std::size_t j = i + 1;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+        if (j == i + 1) {
+          throw ParseError("lex: '$' must be followed by a parameter number "
+                           "at offset " +
+                           std::to_string(pos));
+        }
+        push(TokenKind::kIdent, std::string(text.substr(i, j - i)), pos);
+        i = j;
+        continue;
+      }
       default:
         break;
     }

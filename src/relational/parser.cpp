@@ -218,7 +218,10 @@ class Parser {
     // literals; only the expression grammar's own keywords are reserved
     // here.
     if (peek_is(TokenKind::kIdent) && !is_expr_keyword(cur().text)) {
-      Atom a = Atom::ident(cur().text);
+      // `$N` lexes as an identifier token but denotes a parameter slot.
+      Atom a = cur().text[0] == '$'
+                   ? Atom{Atom::Kind::kParam, cur().text.substr(1)}
+                   : Atom::ident(cur().text);
       advance();
       return a;
     }

@@ -8,10 +8,9 @@
 namespace ccsql {
 
 void Catalog::put(std::string name, Table table) {
-  table_mem_.insert_or_assign(
-      name, obs::MemReservation(obs::MemTracker::Category::kTables,
-                                table.memory_bytes()));
-  tables_.insert_or_assign(std::move(name), std::move(table));
+  tables_.insert_or_assign(std::move(name),
+                           std::make_shared<const StoredTable>(std::move(table)));
+  ++generation_;
 }
 
 bool Catalog::has(std::string_view name) const {
@@ -23,7 +22,12 @@ const Table& Catalog::get(std::string_view name) const {
   if (it == tables_.end()) {
     throw BindError("unknown table: " + std::string(name));
   }
-  return it->second;
+  return it->second->table;
+}
+
+Catalog::TablePtr Catalog::get_shared(std::string_view name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
 }
 
 Table Catalog::run(const SelectStmt& stmt) const {
@@ -97,7 +101,7 @@ Table Catalog::execute(const Statement& stmt) {
         throw BindError("drop table: unknown table " + stmt.table);
       }
       tables_.erase(tables_.find(stmt.table));
-      table_mem_.erase(stmt.table);
+      ++generation_;
       return Table();
     }
     case Statement::Kind::kInsert: {
@@ -105,12 +109,14 @@ Table Catalog::execute(const Statement& stmt) {
       if (it == tables_.end()) {
         throw BindError("insert into: unknown table " + stmt.table);
       }
+      // Copy-on-write: snapshots holding the old version keep its rows and
+      // index cache; only this catalog sees the appended rows.
+      Table copy = it->second->table;
       for (const auto& row : stmt.rows) {
-        it->second.append_texts(row);
+        copy.append_texts(row);
       }
-      table_mem_.insert_or_assign(
-          stmt.table, obs::MemReservation(obs::MemTracker::Category::kTables,
-                                          it->second.memory_bytes()));
+      it->second = std::make_shared<const StoredTable>(std::move(copy));
+      ++generation_;
       return Table();
     }
   }

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -14,8 +16,27 @@ namespace ccsql {
 /// A named collection of tables — the "central database" of the paper in
 /// which all controller tables live.  Also owns the function registry used
 /// when compiling WHERE clauses.
+///
+/// Tables are held by shared_ptr: copying a catalog (the serving layer's
+/// snapshot) shares row storage and lazily-built TupleKey indexes with the
+/// original, so a snapshot is O(#tables) pointer copies.  Every mutation is
+/// copy-on-write — it replaces the affected pointer and bumps generation(),
+/// never touching rows a concurrent reader may hold.
 class Catalog {
  public:
+  /// One resident table plus its MemTracker reservation.  shared_ptr-held
+  /// so catalog copies share storage (and the bytes are counted once, for
+  /// as long as any holder keeps the version alive).
+  struct StoredTable {
+    explicit StoredTable(Table t)
+        : table(std::move(t)),
+          mem(obs::MemTracker::Category::kTables, table.memory_bytes()) {}
+    Table table;
+    obs::MemReservation mem;
+  };
+  using TablePtr = std::shared_ptr<const StoredTable>;
+  using TableMap = std::map<std::string, TablePtr, std::less<>>;
+
   /// Inserts or replaces a table.
   void put(std::string name, Table table);
 
@@ -24,15 +45,23 @@ class Catalog {
   /// Throws BindError if absent.
   [[nodiscard]] const Table& get(std::string_view name) const;
 
+  /// Shared ownership of a resident table version, or nullptr if absent.
+  /// What a snapshot holds: the rows stay valid after the catalog moves on.
+  [[nodiscard]] TablePtr get_shared(std::string_view name) const;
+
   [[nodiscard]] FunctionRegistry& functions() noexcept { return functions_; }
   [[nodiscard]] const FunctionRegistry& functions() const noexcept {
     return functions_;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return tables_.size(); }
-  [[nodiscard]] const std::map<std::string, Table, std::less<>>& tables()
-      const noexcept {
-    return tables_;
+  [[nodiscard]] const TableMap& tables() const noexcept { return tables_; }
+
+  /// Monotonic mutation counter: put / drop / insert each bump it.  Cached
+  /// plans and snapshots are valid exactly while the generation they were
+  /// built against still matches.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
   }
 
   /// Executes a parsed SELECT against this catalog.  Goes through the query
@@ -60,12 +89,8 @@ class Catalog {
   [[nodiscard]] bool check_empty(std::string_view invariant_text) const;
 
  private:
-  std::map<std::string, Table, std::less<>> tables_;
-  /// MemTracker (kTables) reservations for the resident tables, keyed in
-  /// lockstep with tables_: put/drop/insert keep each entry equal to its
-  /// table's current memory_bytes().  Copying a catalog re-registers every
-  /// reservation (the copy really holds second buffers).
-  std::map<std::string, obs::MemReservation, std::less<>> table_mem_;
+  TableMap tables_;
+  std::uint64_t generation_ = 0;
   FunctionRegistry functions_;
 };
 

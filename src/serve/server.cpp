@@ -1,0 +1,203 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+
+#include "relational/parser.hpp"
+
+namespace ccsql::serve {
+namespace {
+
+std::uint64_t micros_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+/// Separates bound parameter values in an execute() cache key; below any
+/// character that can appear in SQL text.  (The mode/text separator is
+/// cache_key's 0x1f.)
+constexpr char kValueSep = '\x1e';
+
+}  // namespace
+
+Server::Server(Database db, ServerOptions options)
+    : options_(options),
+      db_(std::move(db)),
+      cache_(options.plan_cache_capacity) {
+  snap_ = db_.snapshot();
+}
+
+Snapshot Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return snap_;
+}
+
+void Server::admit() {
+  if (options_.max_inflight == 0) return;
+  std::unique_lock<std::mutex> lock(adm_mu_);
+  if (inflight_ < options_.max_inflight) {
+    ++inflight_;
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  adm_cv_.wait(lock, [this] { return inflight_ < options_.max_inflight; });
+  ++inflight_;
+  const std::uint64_t waited = micros_since(t0);
+  admission_waits_.fetch_add(1, std::memory_order_relaxed);
+  admission_wait_us_.fetch_add(waited, std::memory_order_relaxed);
+  CCSQL_OBSERVE("serve.admission.wait_us", static_cast<double>(waited));
+}
+
+void Server::release() {
+  if (options_.max_inflight == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(adm_mu_);
+    --inflight_;
+  }
+  adm_cv_.notify_one();
+}
+
+CachedStatementPtr Server::get_or_build(
+    const std::string& key, const Snapshot& snap, bool exists_mode,
+    const std::function<std::vector<SelectStmt>()>& parse) {
+  if (CachedStatementPtr hit = cache_.lookup(key, snap.generation())) {
+    return hit;
+  }
+  // Concurrent misses on one key each build; the last insert wins.  Builds
+  // are pure (they touch only the immutable snapshot), so that is merely
+  // duplicated work on a cold key, never an inconsistency.
+  CachedStatementPtr built = build_statement(snap, parse(), exists_mode);
+  cache_.insert(key, built);
+  return built;
+}
+
+QueryResult Server::query(std::string_view select_text) {
+  AdmissionGuard slot(*this);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  Snapshot snap = snapshot();
+  if (!options_.use_plan_cache || !snap.planner_on()) {
+    uncached_.fetch_add(1, std::memory_order_relaxed);
+    return snap.query(select_text);
+  }
+  const std::string key = cache_key('Q', select_text);
+  CachedStatementPtr cs = get_or_build(key, snap, /*exists_mode=*/false, [&] {
+    std::vector<SelectStmt> stmts;
+    stmts.push_back(parse_select(std::string_view(key).substr(2)));
+    return stmts;
+  });
+  QueryResult r;
+  r.planned = true;
+  r.jobs = options_.jobs_per_query != 0 ? options_.jobs_per_query
+                                        : snap.jobs();
+  const auto t0 = std::chrono::steady_clock::now();
+  r.rows = run_unit(*cs, 0, r.jobs);
+  r.micros = micros_since(t0);
+  return r;
+}
+
+bool Server::check_empty(std::string_view invariant_text) {
+  AdmissionGuard slot(*this);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  Snapshot snap = snapshot();
+  if (!options_.use_plan_cache || !snap.planner_on()) {
+    uncached_.fetch_add(1, std::memory_order_relaxed);
+    return snap.check_empty(invariant_text);
+  }
+  const std::string key = cache_key('E', invariant_text);
+  CachedStatementPtr cs = get_or_build(key, snap, /*exists_mode=*/true, [&] {
+    return parse_invariant(std::string_view(key).substr(2));
+  });
+  for (std::size_t i = 0; i < cs->units.size(); ++i) {
+    if (!unit_is_empty(*cs, i)) return false;
+  }
+  return true;
+}
+
+Server::Prepared Server::prepare(std::string_view select_text) const {
+  Prepared p;
+  p.sql = normalize_sql(select_text);
+  p.params = param_count(parse_select(p.sql));  // also validates the syntax
+  return p;
+}
+
+QueryResult Server::execute(const Prepared& prepared,
+                            const std::vector<std::string>& values) {
+  AdmissionGuard slot(*this);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  Snapshot snap = snapshot();
+  if (!options_.use_plan_cache || !snap.planner_on()) {
+    uncached_.fetch_add(1, std::memory_order_relaxed);
+    SelectStmt stmt = bind_params(parse_select(prepared.sql), values);
+    return snap.query(stmt);
+  }
+  std::string key = cache_key('Q', prepared.sql);
+  for (const std::string& v : values) {
+    key += kValueSep;
+    key += v;
+  }
+  CachedStatementPtr cs = get_or_build(key, snap, /*exists_mode=*/false, [&] {
+    std::vector<SelectStmt> stmts;
+    stmts.push_back(bind_params(parse_select(prepared.sql), values));
+    return stmts;
+  });
+  QueryResult r;
+  r.planned = true;
+  r.jobs = options_.jobs_per_query != 0 ? options_.jobs_per_query
+                                        : snap.jobs();
+  const auto t0 = std::chrono::steady_clock::now();
+  r.rows = run_unit(*cs, 0, r.jobs);
+  r.micros = micros_since(t0);
+  return r;
+}
+
+void Server::update(const std::function<void(Database&)>& mutator) {
+  std::lock_guard<std::mutex> db_lock(db_mu_);
+  mutator(db_);
+  // One swap publishes the whole mutation: the frozen per-generation
+  // catalog is rebuilt (table pointers are shared, so this is O(#tables)),
+  // and readers pick it up on their next snapshot() — in-flight readers
+  // keep the generation they started with.
+  Snapshot fresh = db_.snapshot();
+  {
+    std::lock_guard<std::mutex> snap_lock(snap_mu_);
+    snap_ = std::move(fresh);
+  }
+  writer_swaps_.fetch_add(1, std::memory_order_relaxed);
+  CCSQL_COUNT("serve.writer_swaps", 1);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.uncached_queries = uncached_.load(std::memory_order_relaxed);
+  s.writer_swaps = writer_swaps_.load(std::memory_order_relaxed);
+  s.admission_waits = admission_waits_.load(std::memory_order_relaxed);
+  s.admission_wait_us = admission_wait_us_.load(std::memory_order_relaxed);
+  s.snapshots_active = Snapshot::active();
+  s.cache = cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    s.generation = snap_.generation();
+  }
+  return s;
+}
+
+void Server::publish_stats(obs::Metrics& metrics) const {
+  const ServerStats s = stats();
+  metrics.set("serve.queries", s.queries);
+  metrics.set("serve.uncached_queries", s.uncached_queries);
+  metrics.set("serve.plan_cache.hits", s.cache.hits);
+  metrics.set("serve.plan_cache.misses", s.cache.misses);
+  metrics.set("serve.plan_cache.evictions", s.cache.evictions);
+  metrics.set("serve.plan_cache.invalidations", s.cache.invalidations);
+  metrics.set("serve.plan_cache.entries", s.cache.entries);
+  metrics.set("serve.plan_cache.mem_bytes", s.cache.bytes);
+  metrics.set("serve.snapshot.active", s.snapshots_active);
+  metrics.set("serve.writer_swaps", s.writer_swaps);
+  metrics.set("serve.admission.waits", s.admission_waits);
+  metrics.set("serve.admission.wait_us", s.admission_wait_us);
+  metrics.set("serve.generation", s.generation);
+}
+
+}  // namespace ccsql::serve

@@ -5,9 +5,11 @@
 // OLD is the baseline (bench/baselines/*.json), NEW is a fresh run written
 // via CCSQL_BENCH_OUT.  Metrics are matched by name; a `bench.*` time-unit
 // metric (us/ms/ns) whose NEW value exceeds OLD by more than the threshold
-// (default 20%) is a regression.  Everything else — counts, bytes, percent,
-// and the pool busy/idle nanos (scheduler residency, not workload speed) —
-// is compared for information only.
+// (default 20%) is a regression, as is a `bench.*` rate metric (qps —
+// higher is better) whose NEW value falls short of OLD by more than the
+// threshold.  Everything else — counts, bytes, percent, and the pool
+// busy/idle nanos (scheduler residency, not workload speed) — is compared
+// for information only.
 //
 // Exit status: 0 clean, 1 regression found (suppressed by --report-only,
 // the CI bring-up mode) or unreadable input, 2 usage error.
@@ -47,6 +49,9 @@ int usage() {
 bool is_time_unit(const std::string& unit) {
   return unit == "us" || unit == "ms" || unit == "ns";
 }
+
+/// Higher-is-better units: a drop beyond the threshold is the regression.
+bool is_rate_unit(const std::string& unit) { return unit == "qps"; }
 
 /// Reads and validates one ccsql-bench/1 document.  Returns false (with a
 /// message on stderr) on I/O, parse, or schema mismatch.
@@ -135,15 +140,20 @@ int main(int argc, char** argv) {
     const Metric& newm = it->second;
     const double delta_pct =
         oldm.value > 0 ? (newm.value - oldm.value) / oldm.value * 100.0 : 0.0;
-    const bool timed =
-        is_time_unit(oldm.unit) && name.rfind("bench.", 0) == 0;
-    const bool regressed = timed && oldm.value > 0 &&
-                           newm.value > oldm.value * (1.0 + threshold_pct / 100.0);
+    const bool bench = name.rfind("bench.", 0) == 0;
+    const bool timed = is_time_unit(oldm.unit) && bench;
+    const bool rate = is_rate_unit(oldm.unit) && bench;
+    const bool regressed =
+        (timed && oldm.value > 0 &&
+         newm.value > oldm.value * (1.0 + threshold_pct / 100.0)) ||
+        (rate && oldm.value > 0 &&
+         oldm.value > newm.value * (1.0 + threshold_pct / 100.0));
     if (regressed) ++regressions;
     std::printf("  %-32s %12.0f %s %12.0f %s %+8.1f%%%s\n", name.c_str(),
                 oldm.value, oldm.unit.c_str(), newm.value, newm.unit.c_str(),
                 delta_pct,
-                regressed ? "  REGRESSION" : (timed ? "" : "  (info)"));
+                regressed ? "  REGRESSION"
+                          : (timed || rate ? "" : "  (info)"));
   }
   for (const auto& [name, newm] : newd.metrics) {
     if (oldd.metrics.find(name) == oldd.metrics.end()) ++only_new;

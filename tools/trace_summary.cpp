@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   std::map<int, std::vector<Frame>> lanes;
   std::map<std::string, std::uint64_t> instants;
   std::vector<std::pair<std::string, std::string>> counters;  // name, text
+  std::map<std::string, double> serve;  // serve.* metric values
   std::uint64_t events = 0;
   std::uint64_t bad_lines = 0;
 
@@ -127,6 +128,13 @@ int main(int argc, char** argv) {
         }
       }
       counters.emplace_back(name, text);
+      if (name.rfind("serve.", 0) == 0) {
+        const auto& args = v.at("args").obj;
+        if (auto it = args.find("value");
+            it != args.end() && it->second.kind == JValue::Kind::kNumber) {
+          serve[name] = it->second.number;
+        }
+      }
     }
   }
 
@@ -167,6 +175,36 @@ int main(int argc, char** argv) {
       std::cout << "  " << std::left << std::setw(32) << name << " " << text
                 << "\n";
     }
+  }
+
+  // Serving-layer digest: the plan-cache and snapshot counters condensed to
+  // two lines (same shape as the ccsql --stats one-pager).
+  if (!serve.empty()) {
+    auto sv = [&serve](const char* name) {
+      auto it = serve.find(name);
+      return it == serve.end() ? 0.0 : it->second;
+    };
+    const double hits = sv("serve.plan_cache.hits");
+    const double misses = sv("serve.plan_cache.misses");
+    std::cout << "\nserve:\n  queries=" << std::uint64_t(sv("serve.queries"))
+              << " (uncached " << std::uint64_t(sv("serve.uncached_queries"))
+              << ")  plan_cache hits=" << std::uint64_t(hits)
+              << " misses=" << std::uint64_t(misses);
+    if (hits + misses > 0) {
+      std::cout << " (hit rate " << std::fixed << std::setprecision(1)
+                << hits / (hits + misses) * 100.0 << "%)"
+                << std::defaultfloat;
+    }
+    std::cout << " evictions=" << std::uint64_t(sv("serve.plan_cache.evictions"))
+              << " invalidations="
+              << std::uint64_t(sv("serve.plan_cache.invalidations"))
+              << " entries=" << std::uint64_t(sv("serve.plan_cache.entries"))
+              << "\n  snapshots active="
+              << std::uint64_t(sv("serve.snapshot.active"))
+              << "  writer swaps=" << std::uint64_t(sv("serve.writer_swaps"))
+              << "  admission waits="
+              << std::uint64_t(sv("serve.admission.waits")) << " ("
+              << std::uint64_t(sv("serve.admission.wait_us")) << " us)\n";
   }
   return bad_lines > 0 ? 1 : 0;
 }
