@@ -88,12 +88,11 @@ std::size_t scan_vectorized(const Table& t, const bc::Program& p,
                             bc::Scratch& scratch) {
   std::size_t hits = 0;
   const std::size_t n = t.row_count();
-  const Value* data = n > 0 ? t.row(0).data() : nullptr;
-  const std::size_t width = t.schema().size();
+  const std::vector<const Value*> cols = t.column_ptrs();
   bc::Sel out;
   for (std::size_t b = 0; b < n; b += 1024) {
     const std::size_t be = std::min(n, b + 1024);
-    p.eval_range(data, width, static_cast<std::uint32_t>(b),
+    p.eval_range(cols, static_cast<std::uint32_t>(b),
                  static_cast<std::uint32_t>(be), out, scratch);
     hits += out.size();
   }

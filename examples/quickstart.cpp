@@ -72,6 +72,14 @@ int main() {
                    db.query("select * from LOCK where outmsg = queued").rows)
             << "\n";
 
+  // Results are columnar: column() hands out a contiguous span, no copies.
+  QueryResult next = db.query("select nxtlockst from LOCK where inmsg = acquire");
+  std::cout << "next lock states after an acquire:";
+  for (const Value v : next.column("nxtlockst")) {
+    std::cout << ' ' << (v.is_null() ? "-" : v.str());
+  }
+  std::cout << "\n\n";
+
   InvariantChecker checker(db);
   auto results = checker.check_all(p.invariants());
   std::cout << InvariantChecker::report(results, /*verbose=*/true) << "\n";

@@ -45,10 +45,8 @@ std::vector<LintFinding> lint(const ProtocolSpec& spec,
 
     // Unused domain values.
     for (std::size_t col = 0; col < schema.size(); ++col) {
-      std::set<Value> seen;
-      for (std::size_t r = 0; r < t.row_count(); ++r) {
-        seen.insert(t.at(r, col));
-      }
+      const ColumnView values = t.column(col);
+      const std::set<Value> seen(values.begin(), values.end());
       for (const Domain& d : gen.domains) {
         if (d.column() != schema.column(col).name) continue;
         for (Value v : d.values()) {
@@ -78,17 +76,14 @@ std::vector<LintFinding> lint(const ProtocolSpec& spec,
     // controller's processor port); network-level produce/consume routing
     // is tracked through the declared message triples only.
     for (std::size_t col = 0; col < schema.size(); ++col) {
-      for (std::size_t r = 0; r < t.row_count(); ++r) {
-        const Value m = t.at(r, col);
+      for (const Value m : t.column(col)) {
         if (!m.is_null() && spec.messages().has(m)) {
           used_messages.insert(std::string(m.str()));
         }
       }
     }
     for (const auto& triple : c->message_triples()) {
-      const std::size_t col = schema.index_of(triple.msg);
-      for (std::size_t r = 0; r < t.row_count(); ++r) {
-        const Value m = t.at(r, col);
+      for (const Value m : t.column(schema.index_of(triple.msg))) {
         if (m.is_null()) continue;
         (triple.is_input ? consumed : produced)
             .insert(std::string(m.str()));

@@ -108,23 +108,34 @@ void DeadlockAnalysis::build_controller_rows(
     for (const auto& ref : tables) {
       const Table& t = *ref.table;
       const Schema& schema = t.schema();
-      const std::size_t im = schema.index_of(ref.input.msg);
-      const std::size_t is = schema.index_of(ref.input.src);
-      const std::size_t id = schema.index_of(ref.input.dst);
+      const ColumnView im = t.column(schema.index_of(ref.input.msg));
+      const ColumnView is = t.column(schema.index_of(ref.input.src));
+      const ColumnView id = t.column(schema.index_of(ref.input.dst));
+      // Resolve each output triple's columns once, outside the row loop.
+      struct OutCols {
+        ColumnView m, s, d;
+      };
+      std::vector<OutCols> out_cols;
+      out_cols.reserve(ref.outputs.size());
+      for (const auto& out : ref.outputs) {
+        out_cols.push_back({t.column(schema.index_of(out.msg)),
+                            t.column(schema.index_of(out.src)),
+                            t.column(schema.index_of(out.dst))});
+      }
       for (std::size_t r = 0; r < t.row_count(); ++r) {
-        const Value m1 = t.at(r, im);
+        const Value m1 = im[r];
         if (m1.is_null()) continue;
-        const Value s1 = t.at(r, is), d1 = t.at(r, id);
+        const Value s1 = is[r], d1 = id[r];
         // The channel is assigned by the original roles; the placement
         // substitution is applied afterwards (paper: the extended tables
         // are modified per placement).
         const auto vc1 = v.vc_for(m1, s1, d1);
         if (!vc1) continue;
-        for (const auto& out : ref.outputs) {
-          const Value m2 = t.at(r, schema.index_of(out.msg));
+        for (const OutCols& out : out_cols) {
+          const Value m2 = out.m[r];
           if (m2.is_null()) continue;
-          const Value s2 = t.at(r, schema.index_of(out.src));
-          const Value d2 = t.at(r, schema.index_of(out.dst));
+          const Value s2 = out.s[r];
+          const Value d2 = out.d[r];
           const auto vc2 = v.vc_for(m2, s2, d2);
           if (!vc2) continue;  // dedicated path: no channel dependency
           DependencyRow row;
@@ -207,11 +218,13 @@ void DeadlockAnalysis::compose() {
     const Table pairs = db.query(sql).rows;
 
     std::vector<DependencyRow> fresh;
+    const ColumnView fidx = pairs.column(0);
+    const ColumnView pidx = pairs.column(1);
     for (std::size_t i = 0; i < pairs.row_count(); ++i) {
       const DependencyRow& r =
-          frontier[std::stoul(std::string(pairs.at(i, 0).str()))];
+          frontier[std::stoul(std::string(fidx[i].str()))];
       const DependencyRow& s =
-          protocol_rows_[std::stoul(std::string(pairs.at(i, 1).str()))];
+          protocol_rows_[std::stoul(std::string(pidx[i].str()))];
       const bool exact = s.m1 == r.m2;
       DependencyRow composed;
       composed.m1 = r.m1;

@@ -154,21 +154,20 @@ Table reconstruct_extended(const std::vector<ImplementationTable>& parts,
   for (const auto& col : ed_reference.schema().columns()) {
     if (col.kind == ColumnKind::kOutput &&
         !response_side.schema().has(col.name)) {
-      // Widen row by row (cross with a one-value table would also work but
-      // obscures that this is a positional zip).
-      Table widened(make_schema([&] {
+      // Widen columnar: hcat the existing columns with one all-NULL column
+      // (a positional zip — no per-row copying).
+      Table nulls(make_schema({col}));
+      nulls.reserve_rows(response_side.row_count());
+      for (std::size_t i = 0; i < response_side.row_count(); ++i) {
+        nulls.append({null_value()});
+      }
+      SchemaPtr widened = make_schema([&] {
         auto cols = response_side.schema().columns();
         cols.push_back(col);
         return cols;
-      }()));
-      std::vector<Value> tmp(widened.column_count());
-      for (std::size_t i = 0; i < response_side.row_count(); ++i) {
-        RowView r = response_side.row(i);
-        std::copy(r.begin(), r.end(), tmp.begin());
-        tmp.back() = null_value();
-        widened.append(RowView(tmp));
-      }
-      response_side = std::move(widened);
+      }());
+      response_side =
+          Table::hcat(std::move(widened), response_side, nulls);
     }
   }
 

@@ -34,6 +34,9 @@ std::string generate_code(const Table& table, const std::string& unit_name,
   for (std::size_t c = 0; c < schema.size(); ++c) {
     (schema.column(c).kind == ColumnKind::kInput ? ins : outs).push_back(c);
   }
+  std::vector<ColumnView> cols;
+  cols.reserve(schema.size());
+  for (std::size_t c = 0; c < schema.size(); ++c) cols.push_back(table.column(c));
 
   if (dialect == CodeDialect::kCxx) {
     os << "// Generated from implementation table " << unit_name << " ("
@@ -43,7 +46,7 @@ std::string generate_code(const Table& table, const std::string& unit_name,
       os << "  if (";
       bool first = true;
       for (std::size_t c : ins) {
-        const Value v = table.at(r, c);
+        const Value v = cols[c][r];
         if (v.is_null()) continue;  // don't care
         if (!first) os << " && ";
         os << "in." << schema.column(c).name << " == " << mangle(v.str());
@@ -52,7 +55,7 @@ std::string generate_code(const Table& table, const std::string& unit_name,
       if (first) os << "true";
       os << ") {\n";
       for (std::size_t c : outs) {
-        const Value v = table.at(r, c);
+        const Value v = cols[c][r];
         if (v.is_null()) continue;  // no-op
         os << "    out." << schema.column(c).name << " = "
            << mangle(v.str()) << ";\n";
@@ -77,12 +80,12 @@ std::string generate_code(const Table& table, const std::string& unit_name,
     os << "    {";
     for (std::size_t i = 0; i < ins.size(); ++i) {
       if (i > 0) os << ", ";
-      const Value v = table.at(r, ins[i]);
+      const Value v = cols[ins[i]][r];
       os << (v.is_null() ? std::string("ANY") : mangle(v.str()));
     }
     os << "}: begin ";
     for (std::size_t c : outs) {
-      const Value v = table.at(r, c);
+      const Value v = cols[c][r];
       if (v.is_null()) continue;
       os << schema.column(c).name << " <= " << mangle(v.str()) << "; ";
     }
@@ -123,8 +126,11 @@ std::string generate_selfcheck_program(const Table& table,
   os << "int main() {\n  int failures = 0;\n";
   os << "  struct Vector { Inputs in; Outputs want; };\n";
   os << "  const Vector vectors[] = {\n";
+  std::vector<ColumnView> cols;
+  cols.reserve(schema.size());
+  for (std::size_t c = 0; c < schema.size(); ++c) cols.push_back(table.column(c));
   auto cell = [&](std::size_t r, std::size_t c) -> std::string {
-    const Value v = table.at(r, c);
+    const Value v = cols[c][r];
     return v.is_null() ? "kNull" : mangle(v.str());
   };
   for (std::size_t r = 0; r < table.row_count(); ++r) {
@@ -163,9 +169,8 @@ std::string generate_selfcheck_program(const Table& table,
 std::string generate_value_declarations(const Table& table,
                                         const std::string& unit_name) {
   std::set<std::string> values;
-  for (std::size_t r = 0; r < table.row_count(); ++r) {
-    for (std::size_t c = 0; c < table.column_count(); ++c) {
-      const Value v = table.at(r, c);
+  for (std::size_t c = 0; c < table.column_count(); ++c) {
+    for (const Value v : table.column(c)) {
       if (!v.is_null()) values.insert(mangle(v.str()));
     }
   }

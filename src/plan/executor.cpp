@@ -22,12 +22,16 @@ constexpr std::size_t kParallelRowThreshold = 2048;
 constexpr std::size_t kMorselGrain = vec::kBatchRows;
 
 /// First `limit` rows of `t` (t itself when it is already small enough).
+/// Columnar storage makes this O(columns): head() shares column vectors.
 Table take(Table t, std::size_t limit) {
   if (limit == kNoLimit || t.row_count() <= limit) return t;
-  Table out(t.schema_ptr());
-  out.reserve_rows(limit);
-  for (std::size_t i = 0; i < limit; ++i) out.append(t.row(i));
-  return out;
+  return t.head(limit);
+}
+
+/// Bytes a predicate scan reads: only the columns the program references,
+/// 4 bytes (one interned id) per cell.
+std::uint64_t scan_bytes(std::size_t rows_visited, std::size_t columns) {
+  return static_cast<std::uint64_t>(rows_visited) * columns * sizeof(Value);
 }
 
 struct Executor {
@@ -167,11 +171,9 @@ struct Executor {
       CCSQL_COUNT("query.rows_scanned", base.row_count());
       return base.with_schema(node.schema);
     }
-    Table out(node.schema);
-    out.reserve_rows(limit);
-    for (std::size_t i = 0; i < limit; ++i) out.append(base.row(i));
+    // O(columns): the head shares the base table's column vectors.
     CCSQL_COUNT("query.rows_scanned", limit);
-    return out;
+    return base.head(limit).with_schema(node.schema);
   }
 
   Table index_lookup(PlanNode& node, std::size_t limit) {
@@ -186,16 +188,16 @@ struct Executor {
     const bool cached = base.has_cached_index(cols);
     const Table::IndexMap& index = base.index_on(cols);
     CCSQL_COUNT(cached ? "plan.index_hits" : "plan.index_builds", 1);
-    Table out(node.schema);
+    bc::Sel sel;
     auto it = index.find(Table::index_key(node.key_values));
     if (it != index.end()) {
       for (std::size_t i : it->second) {
-        if (out.row_count() >= limit) break;
-        out.append(base.row(i));
+        if (sel.size() >= limit) break;
+        sel.push_back(static_cast<std::uint32_t>(i));
       }
     }
-    CCSQL_COUNT("query.rows_scanned", out.row_count());
-    return out;
+    CCSQL_COUNT("query.rows_scanned", sel.size());
+    return base.gather(sel).with_schema(node.schema);
   }
 
   /// Rows of `src` passing `pred`, in table order, as a table over `schema`.
@@ -207,60 +209,52 @@ struct Executor {
                const vec::RowFilter& pred, std::size_t limit,
                std::size_t& visited, OpStats& stats) {
     const std::size_t n = src.row_count();
-    Table out(schema);
+    const std::size_t pred_cols = pred.columns_read(src.column_count());
+    bc::Sel sel;
     if (go_parallel(limit, n)) {
       const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
       stats.morsels += morsels;
+      std::vector<bc::Sel> hits(morsels);
       if (pred.vectorized()) {
         // One morsel = one vectorized batch (kMorselGrain == kBatchRows).
         stats.batches += morsels;
-        std::vector<bc::Sel> hits(morsels);
         core::Pool::global().parallel_for(
             n, kMorselGrain, ctx.jobs,
             [&](std::size_t begin, std::size_t end, std::size_t morsel) {
               pred.filter_range(src, begin, end, kNoLimit, hits[morsel]);
             });
-        std::size_t total = 0;
-        for (const auto& h : hits) total += h.size();
-        out.reserve_rows(total);
-        for (const auto& h : hits) {
-          for (std::uint32_t i : h) out.append(src.row(i));
-        }
-        visited = n;
-        return out;
+      } else {
+        core::Pool::global().parallel_for(
+            n, kMorselGrain, ctx.jobs,
+            [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+              auto& h = hits[morsel];
+              for (std::size_t i = begin; i < end; ++i) {
+                if (pred.eval(src.row(i))) {
+                  h.push_back(static_cast<std::uint32_t>(i));
+                }
+              }
+            });
       }
-      std::vector<std::vector<std::size_t>> hits(morsels);
-      core::Pool::global().parallel_for(
-          n, kMorselGrain, ctx.jobs,
-          [&](std::size_t begin, std::size_t end, std::size_t morsel) {
-            auto& h = hits[morsel];
-            for (std::size_t i = begin; i < end; ++i) {
-              if (pred.eval(src.row(i))) h.push_back(i);
-            }
-          });
       std::size_t total = 0;
       for (const auto& h : hits) total += h.size();
-      out.reserve_rows(total);
-      for (const auto& h : hits) {
-        for (std::size_t i : h) out.append(src.row(i));
-      }
+      sel.reserve(total);
+      for (const auto& h : hits) sel.insert(sel.end(), h.begin(), h.end());
       visited = n;
-      return out;
-    }
-    if (pred.vectorized()) {
-      bc::Sel sel;
+    } else if (pred.vectorized()) {
       visited = pred.filter_range(src, 0, n, limit, sel);
       stats.batches += (visited + vec::kBatchRows - 1) / vec::kBatchRows;
-      out.reserve_rows(sel.size());
-      for (std::uint32_t i : sel) out.append(src.row(i));
-      return out;
+    } else {
+      for (std::size_t i = 0; i < n && sel.size() < limit; ++i) {
+        ++visited;
+        if (pred.eval(src.row(i))) sel.push_back(static_cast<std::uint32_t>(i));
+      }
     }
-    for (std::size_t i = 0; i < n && out.row_count() < limit; ++i) {
-      ++visited;
-      RowView r = src.row(i);
-      if (pred.eval(r)) out.append(r);
-    }
-    return out;
+    // Predicate pass reads only the referenced columns; the output gather
+    // reads and writes every cell of the passing rows.
+    stats.bytes_touched +=
+        scan_bytes(visited, pred_cols) +
+        2 * scan_bytes(sel.size(), src.column_count());
+    return src.gather(sel).with_schema(schema);
   }
 
   Table select(PlanNode& node, std::size_t limit) {
@@ -290,22 +284,26 @@ struct Executor {
       const bool cached = base.has_cached_index(cols);
       const Table::IndexMap& index = base.index_on(cols);
       CCSQL_COUNT(cached ? "plan.index_hits" : "plan.index_builds", 1);
-      Table out(node.schema);
+      bc::Sel hits;
       auto it = index.find(Table::index_key(lookup.key_values));
       if (it != index.end()) {
         for (std::size_t i : it->second) {
-          if (out.row_count() >= limit) break;
+          if (hits.size() >= limit) break;
           ++visited;
-          RowView r = base.row(i);
-          if (pred.eval(r)) out.append(r);
+          if (pred.eval(base.row(i))) {
+            hits.push_back(static_cast<std::uint32_t>(i));
+          }
         }
       }
       if (ctx.record) {
         lookup.actual_rows = visited;
         node.stats.rows_in += visited;
+        node.stats.bytes_touched +=
+            scan_bytes(visited, base.column_count()) +
+            2 * scan_bytes(hits.size(), base.column_count());
       }
       CCSQL_COUNT("query.rows_scanned", visited);
-      return out;
+      return base.gather(hits).with_schema(node.schema);
     }
     if (node.child().is_scan()) {
       // Fused path: filter base rows in place, no intermediate copy.
@@ -346,6 +344,8 @@ struct Executor {
       node.stats.morsels += morsels;
       node.stats.rows_in += n;
       if (pred.vectorized()) node.stats.batches += morsels;
+      node.stats.bytes_touched +=
+          scan_bytes(n, pred.columns_read(base.column_count()));
     }
     std::vector<std::size_t> counts(morsels, 0);
     core::Pool::global().parallel_for(
@@ -385,14 +385,16 @@ struct Executor {
     }
 
     // Build side: the right child.  A scan build side probes the base
-    // table's persistent index (reused across queries); anything else
-    // materialises and indexes its local result.
+    // table's persistent radix join index (reused across queries); anything
+    // else materialises and indexes its local result.  The index partitions
+    // by key-hash radix above ~8k build rows (partitions built in parallel
+    // on the pool) and degenerates to the classic single hash table below.
     const Table* right = nullptr;
     Table right_local;
     obs::MemReservation build_mem;
     if (rhs.is_scan()) {
       right = &base_of(rhs);
-      const bool cached = right->has_cached_index(rk);
+      const bool cached = right->has_cached_join_index(rk);
       CCSQL_COUNT(cached ? "plan.index_hits" : "plan.index_builds", 1);
       if (ctx.record) rhs.actual_rows = right->row_count();
     } else {
@@ -403,12 +405,11 @@ struct Executor {
       build_mem = obs::MemReservation(obs::MemTracker::Category::kHashBuilds,
                                       right_local.memory_bytes());
     }
-    const Table::IndexMap& index = right->index_on(rk, ctx.jobs);
+    const JoinIndex& index = right->join_index_on(rk, ctx.jobs);
     if (ctx.record) {
       node.stats.build_rows += right->row_count();
-      node.stats.build_keys += index.size();
-      node.stats.build_bytes +=
-          Table::index_memory_bytes(index) + build_mem.bytes();
+      node.stats.build_keys += index.key_count();
+      node.stats.build_bytes += index.memory_bytes() + build_mem.bytes();
     }
 
     // Probe side: the left child, streamed straight off the base table when
@@ -422,64 +423,84 @@ struct Executor {
       left = &left_local;
     }
 
-    Table out(node.schema);
-    const std::size_t lw = lhs.schema->size();
-    const std::size_t w = node.schema->size();
+    // Probe emits (probe-row, build-row) id pairs; the output is then one
+    // gather per column from each side — no per-row assembly.  Only the
+    // build side is partitioned, so probing stays in probe-row order and
+    // output order matches the single-partition join exactly.
+    const std::size_t n = left->row_count();
+    bc::Sel lsel, rsel;
     std::size_t visited = 0;
-    if (go_parallel(limit, left->row_count())) {
-      // Parallel probe: each morsel emits its matches into a private flat
-      // buffer; buffers concatenate in morsel order.  Within a morsel the
-      // serial order (probe row, then index order) is preserved, so the
-      // result is row-for-row identical to the serial probe.
-      const std::size_t n = left->row_count();
+    if (go_parallel(limit, n)) {
       const std::size_t morsels = (n + kMorselGrain - 1) / kMorselGrain;
       if (ctx.record) node.stats.morsels += morsels;
-      std::vector<std::vector<Value>> parts(morsels);
+      std::vector<std::pair<bc::Sel, bc::Sel>> parts(morsels);
       core::Pool::global().parallel_for(
           n, kMorselGrain, ctx.jobs,
           [&](std::size_t begin, std::size_t end, std::size_t morsel) {
-            std::vector<Value>& buf = parts[morsel];
-            std::vector<Value> tmp(w);
+            auto& [ls, rs] = parts[morsel];
+            std::vector<TupleKey> keys(end - begin);
+            left->build_keys(lk, begin, end, keys.data());
             for (std::size_t i = begin; i < end; ++i) {
-              RowView lr = left->row(i);
-              auto it = index.find(Table::index_key(lr, lk));
-              if (it == index.end()) continue;
-              std::copy(lr.begin(), lr.end(), tmp.begin());
-              for (std::size_t j : it->second) {
-                RowView rr = right->row(j);
-                std::copy(rr.begin(), rr.end(), tmp.begin() + lw);
-                buf.insert(buf.end(), tmp.begin(), tmp.end());
+              const auto* rows = index.find(keys[i - begin]);
+              if (rows == nullptr) continue;
+              for (std::size_t j : *rows) {
+                ls.push_back(static_cast<std::uint32_t>(i));
+                rs.push_back(static_cast<std::uint32_t>(j));
               }
             }
           });
       std::size_t total = 0;
-      for (const auto& p : parts) total += p.size() / w;
-      out.reserve_rows(total);
-      for (const auto& p : parts) {
-        for (std::size_t k = 0; k + w <= p.size(); k += w) {
-          out.append(RowView(p.data() + k, w));
-        }
+      for (const auto& p : parts) total += p.first.size();
+      lsel.reserve(total);
+      rsel.reserve(total);
+      for (auto& [ls, rs] : parts) {
+        lsel.insert(lsel.end(), ls.begin(), ls.end());
+        rsel.insert(rsel.end(), rs.begin(), rs.end());
       }
       visited = n;
     } else {
-      std::vector<Value> tmp(w);
-      for (std::size_t i = 0;
-           i < left->row_count() && out.row_count() < limit; ++i) {
-        ++visited;
-        RowView lr = left->row(i);
-        auto it = index.find(Table::index_key(lr, lk));
-        if (it == index.end()) continue;
-        std::copy(lr.begin(), lr.end(), tmp.begin());
-        for (std::size_t j : it->second) {
-          RowView rr = right->row(j);
-          std::copy(rr.begin(), rr.end(), tmp.begin() + lw);
-          out.append(RowView(tmp));
-          if (out.row_count() >= limit) break;
+      std::vector<TupleKey> keys;
+      for (std::size_t begin = 0; begin < n && lsel.size() < limit;
+           begin += kMorselGrain) {
+        const std::size_t end = std::min(n, begin + kMorselGrain);
+        keys.assign(end - begin, TupleKey{});
+        left->build_keys(lk, begin, end, keys.data());
+        for (std::size_t i = begin; i < end && lsel.size() < limit; ++i) {
+          ++visited;
+          const auto* rows = index.find(keys[i - begin]);
+          if (rows == nullptr) continue;
+          for (std::size_t j : *rows) {
+            lsel.push_back(static_cast<std::uint32_t>(i));
+            rsel.push_back(static_cast<std::uint32_t>(j));
+            if (lsel.size() >= limit) break;
+          }
         }
       }
     }
+
+    // The output schema may be narrower than the two inputs (projection
+    // pushdown, optimizer pass 4b): gather only the surviving columns.
+    // project() shares column storage, so the narrowing itself is free.
+    std::vector<std::string> lnames, rnames;
+    for (const Column& c : node.schema->columns()) {
+      (lhs.schema->has(c.name) ? lnames : rnames).push_back(c.name);
+    }
+    // Rebind the children's qualified schemas first: a scan probes the bare
+    // base table, whose column names are unqualified.  Both rebind and
+    // project share column storage — only the gathers below copy.
+    const Table lcols =
+        left->with_schema(lhs.schema).project(lnames, /*distinct=*/false);
+    const Table rcols =
+        right->with_schema(rhs.schema).project(rnames, /*distinct=*/false);
+    Table out =
+        Table::hcat(node.schema, lcols.gather(lsel), rcols.gather(rsel));
     if (ctx.record) {
       node.stats.rows_in += visited;
+      node.stats.bytes_touched +=
+          scan_bytes(visited, lk.size()) +
+          scan_bytes(lsel.size(), lcols.column_count()) +
+          scan_bytes(rsel.size(), rcols.column_count()) +
+          scan_bytes(out.row_count(), out.column_count());
       if (lhs.is_scan()) lhs.actual_rows = visited;
     }
     if (lhs.is_scan()) CCSQL_COUNT("query.rows_scanned", visited);

@@ -76,6 +76,9 @@ void render_analyze_node(const PlanNode& node, int depth, std::string& out) {
              std::to_string(s.build_keys) + " keys/" +
              obs::format_bytes(s.build_bytes);
     }
+    if (s.bytes_touched > 0) {
+      out += " bytes=" + obs::format_bytes(s.bytes_touched);
+    }
     out += "]";
   } else if (node.actual_rows != kNotExecuted) {
     // Executed, but only through a parent's fused path.

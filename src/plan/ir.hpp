@@ -51,6 +51,7 @@ struct OpStats {
   std::uint64_t build_rows = 0;    // hash join: build-side rows indexed
   std::uint64_t build_keys = 0;    // hash join: distinct keys in the index
   std::uint64_t build_bytes = 0;   // hash join: estimated build memory
+  std::uint64_t bytes_touched = 0;  // column bytes read + written (columnar)
 
   [[nodiscard]] bool executed() const noexcept { return invocations > 0; }
 };

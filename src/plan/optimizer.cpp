@@ -201,6 +201,40 @@ std::size_t lower_hash_joins(PlanPtr& node, const PlannerOptions& opts) {
   return n;
 }
 
+// ---- 4b. join column pruning ------------------------------------------------
+
+/// A Project directly above a HashJoin narrows the join's output schema to
+/// the projected columns: the executor then gathers only those columns when
+/// materialising match pairs (the join keys are read from the *children*,
+/// so dropping unprojected output columns never affects matching).  On wide
+/// joins feeding narrow projections this removes most of the output copy —
+/// the dominant cost of a high-fanout join under columnar storage.
+std::size_t try_prune_join_columns(PlanNode& node) {
+  if (node.kind != PlanNode::Kind::kProject || node.children.empty()) {
+    return 0;
+  }
+  PlanNode& join = *node.children[0];
+  if (join.kind != PlanNode::Kind::kHashJoin) return 0;
+  std::vector<Column> kept;
+  for (const Column& c : join.schema->columns()) {
+    for (const std::string& name : node.columns) {
+      if (c.name == name) {
+        kept.push_back(c);
+        break;
+      }
+    }
+  }
+  if (kept.size() >= join.schema->size()) return 0;
+  join.schema = make_schema(std::move(kept));
+  return 1;
+}
+
+std::size_t prune_join_columns(PlanPtr& node) {
+  std::size_t n = try_prune_join_columns(*node);
+  for (auto& c : node->children) n += prune_join_columns(c);
+  return n;
+}
+
 // ---- 5. index lowering ------------------------------------------------------
 
 /// If `node` heads a chain of Selects over a Scan, turns the column=literal
@@ -395,6 +429,7 @@ void optimize(PlanPtr& root, const PlannerOptions& opts) {
     rewrites += split_conjunctions(root);
     while (push_once(root, opts)) ++rewrites;
     rewrites += lower_hash_joins(root, opts);
+    rewrites += prune_join_columns(root);
     rewrites += lower_index_lookups(root, opts);
   }
   if (opts.exists_only) {

@@ -19,9 +19,9 @@ RowFilter::RowFilter(const Expr& expr, const Schema& row_schema,
 std::size_t RowFilter::filter_range(const Table& src, std::size_t begin,
                                     std::size_t end, std::size_t limit,
                                     bc::Sel& sel) const {
-  const std::size_t width = src.column_count();
-  const Value* data =
-      (width > 0 && src.row_count() > 0) ? src.row(0).data() : nullptr;
+  // One base pointer per column: the bytecode leaves scan each referenced
+  // column stride-1 (DESIGN.md section 13).
+  const std::vector<const Value*> cols = src.column_ptrs();
   // Scratch selection buffers are acquired/released LIFO, so one
   // thread-local pool serves nested evaluations (a registry predicate that
   // itself filters) and is reused across every batch this thread runs.
@@ -32,7 +32,7 @@ std::size_t RowFilter::filter_range(const Table& src, std::size_t begin,
   if (limit == 0) return 0;
   for (std::size_t b = begin; b < end; b += kBatchRows) {
     const std::size_t be = std::min(b + kBatchRows, end);
-    prog_.eval_range(data, width, static_cast<std::uint32_t>(b),
+    prog_.eval_range(cols, static_cast<std::uint32_t>(b),
                      static_cast<std::uint32_t>(be), hits, scratch);
     CCSQL_COUNT("exec.batches", 1);
     CCSQL_OBSERVE("exec.sel_density",

@@ -18,6 +18,7 @@
 // one batch, so the parallel and serial paths see identical batch
 // boundaries and emit identical selections.
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -49,6 +50,13 @@ class RowFilter {
   /// Scalar row test (either engine).
   [[nodiscard]] bool eval(RowView row) const {
     return prog_ ? prog_.eval(row) : interp_.eval(row);
+  }
+
+  /// Distinct columns this predicate reads per row — the bytes-touched
+  /// basis for EXPLAIN ANALYZE.  The interpreted walk materialises whole
+  /// rows, so it reports the full `width`.
+  [[nodiscard]] std::size_t columns_read(std::size_t width) const {
+    return prog_ ? std::min(prog_.columns_read(), width) : width;
   }
 
   /// Batch-filters rows [begin, end) of `src`, appending passing row

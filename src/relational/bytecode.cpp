@@ -99,15 +99,10 @@ namespace bc {
 
 struct Program::NodeEval {
   const Program& p;
-  const Value* data = nullptr;
-  std::size_t width = 0;
+  const Value* const* cols = nullptr;  // one base pointer per schema column
   Scratch* scratch = nullptr;
 
-  [[nodiscard]] const Value* row_ptr(std::uint32_t i) const noexcept {
-    return data + static_cast<std::size_t>(i) * width;
-  }
-
-  [[nodiscard]] bool call(const Insn& in, const Value* row) const {
+  [[nodiscard]] bool call_at(const Insn& in, std::uint32_t i) const {
     Value inline_args[8];
     std::vector<Value> heap_args;
     Value* args = inline_args;
@@ -116,7 +111,7 @@ struct Program::NodeEval {
       args = heap_args.data();
     }
     for (std::uint32_t k = 0; k < in.argc; ++k) {
-      args[k] = p.operands_[in.args + k].get(row);
+      args[k] = p.operands_[in.args + k].get_at(cols, i);
     }
     return (*in.fn)(std::span<const Value>(args, in.argc));
   }
@@ -147,11 +142,10 @@ struct Program::NodeEval {
         const bool neg = in.negated;
         const Operand& lhs = p.operands_[in.a];
         for (std::uint32_t i : sel) {
-          const Value* row = row_ptr(i);
-          const Value v = lhs.get(row);
+          const Value v = lhs.get_at(cols, i);
           bool found = false;
           for (std::uint32_t k = 0; k < argc; ++k) {
-            found |= members[k].get(row) == v;
+            found |= members[k].get_at(cols, i) == v;
           }
           *dst = i;
           dst += found != neg;
@@ -163,7 +157,7 @@ struct Program::NodeEval {
         std::uint32_t* dst = grow(out, sel.size());
         for (std::uint32_t i : sel) {
           *dst = i;
-          dst += call(in, row_ptr(i));
+          dst += call_at(in, i);
         }
         shrink_to(out, dst);
         return;
@@ -258,12 +252,11 @@ struct Program::NodeEval {
         const std::uint32_t argc = in.argc;
         const bool neg = in.negated;
         const Operand& lhs = p.operands_[in.a];
-        const Value* row = row_ptr(begin);
-        for (std::uint32_t i = begin; i < end; ++i, row += width) {
-          const Value v = lhs.get(row);
+        for (std::uint32_t i = begin; i < end; ++i) {
+          const Value v = lhs.get_at(cols, i);
           bool found = false;
           for (std::uint32_t k = 0; k < argc; ++k) {
-            found |= members[k].get(row) == v;
+            found |= members[k].get_at(cols, i) == v;
           }
           *dst = i;
           dst += found != neg;
@@ -273,10 +266,9 @@ struct Program::NodeEval {
       }
       case Op::kCall: {
         std::uint32_t* dst = grow(out, end - begin);
-        const Value* row = row_ptr(begin);
-        for (std::uint32_t i = begin; i < end; ++i, row += width) {
+        for (std::uint32_t i = begin; i < end; ++i) {
           *dst = i;
-          dst += call(in, row);
+          dst += call_at(in, i);
         }
         shrink_to(out, dst);
         return;
@@ -351,7 +343,9 @@ struct Program::NodeEval {
     }
   }
 
-  /// Dense-range twin of cmp_batch: sequential strided loops.
+  /// Dense-range twin of cmp_batch: stride-1 sequential loops over the
+  /// referenced columns — columnar storage makes the hot leaf a contiguous
+  /// scan of exactly the cells the predicate names.
   void cmp_range(const Insn& in, std::uint32_t begin, std::uint32_t end,
                  Sel& out) const {
     const Operand& l = p.operands_[in.a];
@@ -363,18 +357,18 @@ struct Program::NodeEval {
     }
     std::uint32_t* dst = grow(out, end - begin);
     if (l.is_column != r.is_column) {
-      const Value* cell = row_ptr(begin) + (l.is_column ? l.column : r.column);
+      const Value* col = cols[l.is_column ? l.column : r.column];
       const Value c = l.is_column ? r.value : l.value;
-      for (std::uint32_t i = begin; i < end; ++i, cell += width) {
+      for (std::uint32_t i = begin; i < end; ++i) {
         *dst = i;
-        dst += (*cell == c) != neg;
+        dst += (col[i] == c) != neg;
       }
     } else {
-      const Value* ca = row_ptr(begin) + l.column;
-      const Value* cb = row_ptr(begin) + r.column;
-      for (std::uint32_t i = begin; i < end; ++i, ca += width, cb += width) {
+      const Value* ca = cols[l.column];
+      const Value* cb = cols[r.column];
+      for (std::uint32_t i = begin; i < end; ++i) {
         *dst = i;
-        dst += (*ca == *cb) != neg;
+        dst += (ca[i] == cb[i]) != neg;
       }
     }
     shrink_to(out, dst);
@@ -394,42 +388,36 @@ struct Program::NodeEval {
       return;
     }
     std::uint32_t* dst = grow(out, sel.size());
-    // The executor feeds dense iota batches, so the first (full-batch) pass
-    // of every predicate takes the sequential strided loops below; only
-    // refined (sparse) selections pay the gather.
+    // A dense batch degenerates to the stride-1 range loop; only refined
+    // (sparse) selections pay the per-index gather.
     const bool dense =
         sel.back() - sel.front() + 1 == static_cast<std::uint32_t>(sel.size());
     if (l.is_column != r.is_column) {
-      const Value* col = data + (l.is_column ? l.column : r.column);
+      const Value* col = cols[l.is_column ? l.column : r.column];
       const Value c = l.is_column ? r.value : l.value;
       if (dense) {
-        const std::uint32_t f = sel.front();
-        const Value* cell = col + static_cast<std::size_t>(f) * width;
-        for (std::uint32_t i = f; i <= sel.back(); ++i, cell += width) {
+        for (std::uint32_t i = sel.front(); i <= sel.back(); ++i) {
           *dst = i;
-          dst += (*cell == c) != neg;
+          dst += (col[i] == c) != neg;
         }
       } else {
         for (std::uint32_t i : sel) {
           *dst = i;
-          dst += (col[static_cast<std::size_t>(i) * width] == c) != neg;
+          dst += (col[i] == c) != neg;
         }
       }
     } else {
-      const Value* ca = data + l.column;
-      const Value* cb = data + r.column;
+      const Value* ca = cols[l.column];
+      const Value* cb = cols[r.column];
       if (dense) {
-        const std::uint32_t f = sel.front();
-        std::size_t off = static_cast<std::size_t>(f) * width;
-        for (std::uint32_t i = f; i <= sel.back(); ++i, off += width) {
+        for (std::uint32_t i = sel.front(); i <= sel.back(); ++i) {
           *dst = i;
-          dst += (ca[off] == cb[off]) != neg;
+          dst += (ca[i] == cb[i]) != neg;
         }
       } else {
         for (std::uint32_t i : sel) {
-          const std::size_t off = static_cast<std::size_t>(i) * width;
           *dst = i;
-          dst += (ca[off] == cb[off]) != neg;
+          dst += (ca[i] == cb[i]) != neg;
         }
       }
     }
@@ -443,7 +431,6 @@ bool Program::eval(RowView row) const {
   // evaluates the whole program — no recursion, no child-root chasing.
   // (Unlike the interpreted walk this does not short-circuit; predicates
   // are pure, so only timing can differ, never the result.)
-  const Value* d = row.data();
   if (insns_.empty()) return false;  // uncompiled program
   bool inline_stack[64];
   std::unique_ptr<bool[]> heap_stack;
@@ -453,27 +440,39 @@ bool Program::eval(RowView row) const {
     stack = heap_stack.get();
   }
   std::size_t sp = 0;
-  NodeEval ev{*this, d, row.size(), nullptr};
+  auto call = [&](const Insn& in) {
+    Value inline_args[8];
+    std::vector<Value> heap_args;
+    Value* args = inline_args;
+    if (in.argc > 8) {
+      heap_args.resize(in.argc);
+      args = heap_args.data();
+    }
+    for (std::uint32_t k = 0; k < in.argc; ++k) {
+      args[k] = operands_[in.args + k].get(row);
+    }
+    return (*in.fn)(std::span<const Value>(args, in.argc));
+  };
   for (const Insn& in : insns_) {
     switch (in.op) {
       case Op::kConst:
         stack[sp++] = in.imm;
         break;
       case Op::kCmp:
-        stack[sp++] = (operands_[in.a].get(d) == operands_[in.b].get(d)) !=
+        stack[sp++] = (operands_[in.a].get(row) == operands_[in.b].get(row)) !=
                       in.negated;
         break;
       case Op::kIn: {
-        const Value v = operands_[in.a].get(d);
+        const Value v = operands_[in.a].get(row);
         bool found = false;
         for (std::uint32_t k = 0; k < in.argc; ++k) {
-          found |= operands_[in.args + k].get(d) == v;
+          found |= operands_[in.args + k].get(row) == v;
         }
         stack[sp++] = found != in.negated;
         break;
       }
       case Op::kCall:
-        stack[sp++] = ev.call(in, d);
+        stack[sp++] = call(in);
         break;
       case Op::kAnd: {
         bool v = true;
@@ -504,22 +503,33 @@ bool Program::eval(RowView row) const {
   return stack[0];
 }
 
-void Program::eval_batch(const Value* data, std::size_t width,
+void Program::eval_batch(std::span<const Value* const> cols,
                          std::span<const std::uint32_t> sel, Sel& out,
                          Scratch& scratch) const {
   out.clear();
   if (sel.empty()) return;
-  NodeEval ev{*this, data, width, &scratch};
+  NodeEval ev{*this, cols.data(), &scratch};
   ev.run(static_cast<std::uint32_t>(insns_.size() - 1), sel, out);
 }
 
-void Program::eval_range(const Value* data, std::size_t width,
+void Program::eval_range(std::span<const Value* const> cols,
                          std::uint32_t begin, std::uint32_t end, Sel& out,
                          Scratch& scratch) const {
   out.clear();
   if (begin >= end) return;
-  NodeEval ev{*this, data, width, &scratch};
+  NodeEval ev{*this, cols.data(), &scratch};
   ev.run_range(static_cast<std::uint32_t>(insns_.size() - 1), begin, end, out);
+}
+
+std::size_t Program::columns_read() const {
+  std::vector<std::uint32_t> seen;
+  for (const Operand& op : operands_) {
+    if (!op.is_column) continue;
+    if (std::find(seen.begin(), seen.end(), op.column) == seen.end()) {
+      seen.push_back(op.column);
+    }
+  }
+  return seen.size();
 }
 
 }  // namespace bc

@@ -16,6 +16,11 @@
 //    ternary splits the selection on its condition.  Leaf comparisons run
 //    as tight loops over column data with no virtual dispatch.
 //
+// Batch evaluation reads columnar storage directly: the caller passes one
+// base pointer per schema column (Table::column_ptrs) and the leaf loops
+// index column[row] — dense passes are stride-1 sequential reads over
+// exactly the columns the predicate names, never whole rows.
+//
 // Both engines are exact drop-ins for CompiledExpr::eval: NULL is symbol
 // id 0 and compares as an ordinary value, and selection order is table
 // order, so results are byte-identical to the interpreted walk.  The
@@ -77,8 +82,14 @@ struct Operand {
   std::uint32_t column = 0;
   Value value;
 
-  [[nodiscard]] Value get(const Value* row) const noexcept {
+  /// Scalar access through the row proxy (flat or columnar).
+  [[nodiscard]] Value get(RowView row) const noexcept {
     return is_column ? row[column] : value;
+  }
+  /// Batch access: cell `i` of the column-pointer array.
+  [[nodiscard]] Value get_at(const Value* const* cols,
+                             std::uint32_t i) const noexcept {
+    return is_column ? cols[column][i] : value;
   }
 };
 
@@ -134,18 +145,25 @@ class Program {
   [[nodiscard]] bool eval(RowView row) const;
 
   /// Batch evaluation: appends to `out` the members of `sel` (ascending row
-  /// indices into the row-major `data` of the given `width`) that satisfy
-  /// the program, preserving order.  `out` is cleared first.
-  void eval_batch(const Value* data, std::size_t width,
+  /// indices into the columnar table whose per-column base pointers are
+  /// `cols`, one per schema column in order — Table::column_ptrs) that
+  /// satisfy the program, preserving order.  `out` is cleared first.
+  void eval_batch(std::span<const Value* const> cols,
                   std::span<const std::uint32_t> sel, Sel& out,
                   Scratch& scratch) const;
 
   /// Dense-range form of eval_batch over rows [begin, end): the selection
   /// vector is implicit, so the first (full-batch) pass of every predicate
-  /// runs as a sequential strided loop with no index materialisation.
-  /// This is the executor's entry point — morsels are dense by construction.
-  void eval_range(const Value* data, std::size_t width, std::uint32_t begin,
+  /// runs as a stride-1 sequential loop over each referenced column with no
+  /// index materialisation.  This is the executor's entry point — morsels
+  /// are dense by construction.
+  void eval_range(std::span<const Value* const> cols, std::uint32_t begin,
                   std::uint32_t end, Sel& out, Scratch& scratch) const;
+
+  /// Number of distinct table columns the program reads — the basis of
+  /// EXPLAIN ANALYZE's bytes-touched estimate (columns_read * 4 bytes per
+  /// row visited, since cells are interned u32 symbol ids).
+  [[nodiscard]] std::size_t columns_read() const;
 
  private:
   friend Program (::ccsql::compile_bytecode)(const Expr&, const Schema&,

@@ -23,6 +23,26 @@ std::uint64_t micros_since(std::chrono::steady_clock::time_point t0) {
 /// Live Snapshot handles, process-wide (the serve.snapshot.active gauge).
 std::atomic<std::size_t> g_active_snapshots{0};
 
+/// A per-generation frozen catalog copy plus the MemTracker reservation
+/// covering the copy's own footprint.  Column storage and indexes are
+/// shared with the live catalog (COW per column) and stay accounted by
+/// their original StoredTable reservations; what a snapshot newly
+/// allocates — and what used to go untracked — is the catalog map copy
+/// itself (nodes, names, shared_ptr control blocks).
+struct FrozenCatalog {
+  Catalog catalog;
+  obs::MemReservation mem;
+};
+
+std::size_t catalog_copy_bytes(const Catalog& c) {
+  std::size_t bytes = sizeof(Catalog);
+  for (const auto& [name, ptr] : c.tables()) {
+    // One map node: key string, shared_ptr, and node/control overhead.
+    bytes += name.capacity() + sizeof(void*) * 6;
+  }
+  return bytes;
+}
+
 }  // namespace
 
 // ---- Snapshot ---------------------------------------------------------------
@@ -139,7 +159,14 @@ bool Snapshot::check_empty(const SelectStmt& stmt) const {
 Snapshot Database::snapshot() const {
   std::lock_guard<std::mutex> lock(snap_mu_);
   if (!snap_cache_ || snap_gen_ != catalog_.generation()) {
-    snap_cache_ = std::make_shared<const Catalog>(catalog_);
+    auto frozen = std::make_shared<FrozenCatalog>();
+    frozen->catalog = catalog_;
+    frozen->mem = obs::MemReservation(obs::MemTracker::Category::kTables,
+                                      catalog_copy_bytes(frozen->catalog));
+    // Aliased: snapshots see a plain `const Catalog`, the reservation rides
+    // along and releases when the last snapshot of this generation drops.
+    const Catalog* view = &frozen->catalog;
+    snap_cache_ = std::shared_ptr<const Catalog>(std::move(frozen), view);
     snap_gen_ = catalog_.generation();
   }
   return Snapshot(snap_cache_, snap_gen_, use_planner_, jobs_);

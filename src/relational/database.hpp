@@ -31,6 +31,11 @@
 namespace ccsql {
 
 /// Rows plus the execution facts that accompany them.
+///
+/// Results are columnar like the tables they come from: column() hands out
+/// contiguous spans with no copying, and is the primary way to consume a
+/// result (DESIGN.md section 13).  row()/row_views() remain as gather
+/// adapters for cold consumers.
 struct QueryResult {
   Table rows;
   /// Rendered plan with est/actual row counts; filled by explain() only.
@@ -45,7 +50,26 @@ struct QueryResult {
   [[nodiscard]] std::size_t row_count() const noexcept {
     return rows.row_count();
   }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return rows.column_count();
+  }
   [[nodiscard]] bool empty() const noexcept { return rows.row_count() == 0; }
+
+  /// Column-first access: a contiguous read-only span of one result column.
+  [[nodiscard]] ColumnView column(std::size_t j) const noexcept {
+    return rows.column(j);
+  }
+  [[nodiscard]] ColumnView column(std::string_view name) const {
+    return rows.column(name);
+  }
+
+  /// Row-at-a-time adapters (gather path — prefer column() in bulk code).
+  [[nodiscard]] RowView row(std::size_t i) const noexcept {
+    return rows.row(i);
+  }
+  [[nodiscard]] Table::RowRange row_views() const noexcept {
+    return rows.rows();
+  }
 };
 
 /// An immutable point-in-time view of a Database's catalog, plus the

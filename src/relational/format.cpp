@@ -19,8 +19,11 @@ std::string to_ascii(const Table& t, std::size_t max_rows) {
   for (std::size_t c = 0; c < ncol; ++c) {
     widths[c] = t.schema().column(c).name.size();
   }
+  // Column-first: one span per column, indexed per row below.
+  std::vector<ColumnView> cols(ncol);
+  for (std::size_t c = 0; c < ncol; ++c) cols[c] = t.column(c);
   auto cell = [&](std::size_t r, std::size_t c) -> std::string {
-    const Value v = t.at(r, c);
+    const Value v = cols[c][r];
     return v.is_null() ? std::string("-") : std::string(v.str());
   };
   for (std::size_t r = 0; r < shown; ++r) {
@@ -59,10 +62,12 @@ std::string to_csv(const Table& t) {
     os << t.schema().column(c).name;
   }
   os << '\n';
+  std::vector<ColumnView> cols(ncol);
+  for (std::size_t c = 0; c < ncol; ++c) cols[c] = t.column(c);
   for (std::size_t r = 0; r < t.row_count(); ++r) {
     for (std::size_t c = 0; c < ncol; ++c) {
       if (c > 0) os << ',';
-      const Value v = t.at(r, c);
+      const Value v = cols[c][r];
       if (!v.is_null()) os << v.str();
     }
     os << '\n';

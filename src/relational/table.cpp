@@ -1,9 +1,12 @@
 #include "relational/table.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <mutex>
-#include <unordered_map>
+#include <numeric>
 #include <unordered_set>
+#include <utility>
 
 #include "core/pool.hpp"
 #include "relational/error.hpp"
@@ -54,54 +57,52 @@ std::size_t TupleKey::hash() const noexcept {
   return static_cast<std::size_t>(h);
 }
 
+// ---- Table ------------------------------------------------------------------
+
 namespace {
 
-/// Hash/equality over rows referenced by index into a flat value buffer.
-/// Used to deduplicate without copying rows into a temporary container.
-struct RowRef {
-  const std::vector<Value>* data;
-  std::size_t width;
-  std::size_t row;
+/// Rows packed per build_keys / TupleKey-set pass before the key buffer is
+/// recycled; also the morsel grain of parallel index builds.
+constexpr std::size_t kKeyChunk = 4096;
 
-  [[nodiscard]] const Value* begin() const {
-    return data->data() + row * width;
-  }
-};
+/// Below this row count a parallel index build costs more than it saves.
+constexpr std::size_t kParallelIndexThreshold = 2048;
+constexpr std::size_t kIndexBuildGrain = 1024;
 
-struct RowRefHash {
-  std::size_t operator()(const RowRef& r) const noexcept {
-    std::size_t h = 0x9e3779b97f4a7c15ull;
-    const Value* p = r.begin();
-    for (std::size_t i = 0; i < r.width; ++i) {
-      h ^= std::hash<Value>{}(p[i]) + 0x9e3779b97f4a7c15ull + (h << 6) +
-           (h >> 2);
-    }
-    return h;
-  }
-};
-
-struct RowRefEq {
-  bool operator()(const RowRef& a, const RowRef& b) const noexcept {
-    return std::equal(a.begin(), a.begin() + a.width, b.begin());
-  }
-};
-
-using RowSet = std::unordered_set<RowRef, RowRefHash, RowRefEq>;
+std::vector<std::size_t> iota_cols(std::size_t n) {
+  std::vector<std::size_t> cols(n);
+  std::iota(cols.begin(), cols.end(), std::size_t{0});
+  return cols;
+}
 
 }  // namespace
 
 Table::Table(SchemaPtr schema) : schema_(std::move(schema)) {
   if (!schema_) throw SchemaError("Table: null schema");
+  cols_.reserve(schema_->size());
+  for (std::size_t j = 0; j < schema_->size(); ++j) {
+    cols_.push_back(std::make_shared<ColumnData>());
+  }
 }
 
 Table Table::unit() {
   Table t;
-  t.unit_rows_ = 1;
+  t.rows_ = 1;
   return t;
 }
 
-std::size_t Table::row_count() const noexcept {
-  return width() == 0 ? unit_rows_ : data_.size() / width();
+Table::ColumnData& Table::mut_col(std::size_t j) {
+  ColumnPtr& c = cols_[j];
+  if (c.use_count() != 1) {
+    // Shared with another table: copy-on-write, trimming any tail beyond
+    // row_count() (a shared LIMIT head) in the same pass.
+    c = std::make_shared<ColumnData>(c->begin(),
+                                     c->begin() + static_cast<std::ptrdiff_t>(
+                                                      rows_));
+  } else if (c->size() != rows_) {
+    c->resize(rows_);
+  }
+  return *c;
 }
 
 void Table::append(RowView row) {
@@ -110,11 +111,8 @@ void Table::append(RowView row) {
                       " != schema arity " + std::to_string(width()));
   }
   invalidate_indexes();
-  if (width() == 0) {
-    ++unit_rows_;
-    return;
-  }
-  data_.insert(data_.end(), row.begin(), row.end());
+  for (std::size_t j = 0; j < width(); ++j) mut_col(j).push_back(row[j]);
+  ++rows_;
 }
 
 void Table::append(std::initializer_list<Value> row) {
@@ -128,55 +126,81 @@ void Table::append_texts(const std::vector<std::string>& texts) {
   append(RowView(vals));
 }
 
-void Table::reserve_rows(std::size_t n) { data_.reserve(n * width()); }
+void Table::reserve_rows(std::size_t n) {
+  for (std::size_t j = 0; j < width(); ++j) mut_col(j).reserve(n);
+}
+
+Table Table::gather(std::span<const std::uint32_t> sel) const {
+  Table out(schema_);
+  out.rows_ = sel.size();
+  for (std::size_t j = 0; j < width(); ++j) {
+    const Value* src = cols_[j]->data();
+    auto c = std::make_shared<ColumnData>(sel.size());
+    Value* dst = c->data();
+    for (std::size_t i = 0; i < sel.size(); ++i) dst[i] = src[sel[i]];
+    out.cols_[j] = std::move(c);
+  }
+  return out;
+}
+
+Table Table::head(std::size_t n) const {
+  Table out(schema_);
+  out.cols_ = cols_;  // shared: mut_col trims the tail if `out` ever mutates
+  out.rows_ = std::min(n, rows_);
+  return out;
+}
 
 Table Table::select(const std::function<bool(RowView)>& pred) const {
-  Table out(schema_);
   if (width() == 0) {
-    for (std::size_t i = 0; i < unit_rows_; ++i) {
-      if (pred(RowView{})) ++out.unit_rows_;
+    Table out(schema_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (pred(RowView{})) ++out.rows_;
     }
     return out;
   }
-  for (std::size_t i = 0; i < row_count(); ++i) {
-    RowView r = row(i);
-    if (pred(r)) out.append(r);
+  std::vector<std::uint32_t> sel;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (pred(row(i))) sel.push_back(static_cast<std::uint32_t>(i));
   }
-  return out;
+  return gather(sel);
 }
 
 Table Table::project(const std::vector<std::string>& names,
                      bool distinct) const {
-  std::vector<std::size_t> idx;
-  idx.reserve(names.size());
-  for (const auto& n : names) idx.push_back(schema_->index_of(n));
   Table out(schema_->project(names));
-  out.reserve_rows(row_count());
-  std::vector<Value> tmp(idx.size());
-  for (std::size_t i = 0; i < row_count(); ++i) {
-    RowView r = row(i);
-    for (std::size_t j = 0; j < idx.size(); ++j) tmp[j] = r[idx[j]];
-    out.append(RowView(tmp));
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    // Zero-copy: the projected table shares the source column vectors.
+    out.cols_[j] = cols_[schema_->index_of(names[j])];
   }
+  out.rows_ = rows_;
   return distinct ? out.distinct() : out;
 }
 
 Table Table::distinct() const {
-  Table out(schema_);
   if (width() == 0) {
-    out.unit_rows_ = unit_rows_ > 0 ? 1 : 0;
+    Table out(schema_);
+    out.rows_ = rows_ > 0 ? 1 : 0;
     return out;
   }
-  // Dedupe on packed symbol-id tuples: rows of up to four columns hash and
-  // compare as two inline words, with no per-row key formatting.
+  // Dedupe on packed symbol-id tuples built column-at-a-time: rows of up to
+  // four columns hash and compare as two inline words, with no per-row key
+  // formatting and no row materialisation.
+  const std::vector<std::size_t> cols = iota_cols(width());
   std::unordered_set<TupleKey, TupleKeyHash> seen;
-  seen.reserve(row_count());
-  out.reserve_rows(row_count());
-  for (std::size_t i = 0; i < row_count(); ++i) {
-    RowView r = row(i);
-    if (seen.insert(TupleKey::of_values(r)).second) out.append(r);
+  seen.reserve(rows_);
+  std::vector<std::uint32_t> sel;
+  std::vector<TupleKey> keys;
+  for (std::size_t begin = 0; begin < rows_; begin += kKeyChunk) {
+    const std::size_t end = std::min(rows_, begin + kKeyChunk);
+    keys.assign(end - begin, TupleKey{});
+    build_keys(cols, begin, end, keys.data());
+    for (std::size_t i = begin; i < end; ++i) {
+      if (seen.insert(std::move(keys[i - begin])).second) {
+        sel.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
   }
-  return out;
+  return gather(sel);
 }
 
 Table Table::cross(const Table& a, const Table& b) {
@@ -185,21 +209,41 @@ Table Table::cross(const Table& a, const Table& b) {
     cols.push_back(c);
   }
   Table out(make_schema(std::move(cols)));  // throws on duplicate names
-  if (out.width() == 0) {
-    out.unit_rows_ = a.row_count() * b.row_count();
-    return out;
+  const std::size_t an = a.row_count(), bn = b.row_count();
+  out.rows_ = an * bn;
+  // Row (i*bn + j) pairs a-row i with b-row j, so a's columns repeat each
+  // cell bn times and b's columns tile whole an times — two sequential
+  // fills, no row assembly.
+  for (std::size_t j = 0; j < a.width(); ++j) {
+    const Value* src = a.cols_[j]->data();
+    auto c = std::make_shared<ColumnData>();
+    c->reserve(out.rows_);
+    for (std::size_t i = 0; i < an; ++i) c->insert(c->end(), bn, src[i]);
+    out.cols_[j] = std::move(c);
   }
-  out.reserve_rows(a.row_count() * b.row_count());
-  std::vector<Value> tmp(out.width());
-  for (std::size_t i = 0; i < a.row_count(); ++i) {
-    RowView ra = a.row(i);
-    std::copy(ra.begin(), ra.end(), tmp.begin());
-    for (std::size_t j = 0; j < b.row_count(); ++j) {
-      RowView rb = b.row(j);
-      std::copy(rb.begin(), rb.end(), tmp.begin() + a.width());
-      out.append(RowView(tmp));
-    }
+  for (std::size_t j = 0; j < b.width(); ++j) {
+    const Value* src = b.cols_[j]->data();
+    auto c = std::make_shared<ColumnData>();
+    c->reserve(out.rows_);
+    for (std::size_t i = 0; i < an; ++i) c->insert(c->end(), src, src + bn);
+    out.cols_[a.width() + j] = std::move(c);
   }
+  return out;
+}
+
+Table Table::hcat(SchemaPtr schema, const Table& a, const Table& b) {
+  if (!schema || schema->size() != a.width() + b.width()) {
+    throw SchemaError("hcat: schema arity != sum of input arities");
+  }
+  if (a.row_count() != b.row_count()) {
+    throw SchemaError("hcat: row count mismatch");
+  }
+  Table out(std::move(schema));
+  for (std::size_t j = 0; j < a.width(); ++j) out.cols_[j] = a.cols_[j];
+  for (std::size_t j = 0; j < b.width(); ++j) {
+    out.cols_[a.width() + j] = b.cols_[j];
+  }
+  out.rows_ = a.rows_;
   return out;
 }
 
@@ -213,12 +257,13 @@ Table Table::union_all(const Table& a, const Table& b) {
   a.check_same_names(b);
   Table out = a;
   out.invalidate_indexes();
-  if (out.width() == 0) {
-    out.unit_rows_ += b.unit_rows_;
-    return out;
+  for (std::size_t j = 0; j < out.width(); ++j) {
+    ColumnData& c = out.mut_col(j);
+    const ColumnView bc = b.column(j);
+    c.reserve(out.rows_ + bc.size());
+    c.insert(c.end(), bc.begin(), bc.end());
   }
-  out.data_.reserve(out.data_.size() + b.data_.size());
-  out.data_.insert(out.data_.end(), b.data_.begin(), b.data_.end());
+  out.rows_ += b.rows_;
   return out;
 }
 
@@ -226,22 +271,49 @@ Table Table::union_distinct(const Table& a, const Table& b) {
   return union_all(a, b).distinct();
 }
 
+namespace {
+
+/// Full-row key set of a table, built column-at-a-time — the shape
+/// difference/contains_all dedupe against.
+std::unordered_set<TupleKey, TupleKeyHash> row_key_set(const Table& t) {
+  std::unordered_set<TupleKey, TupleKeyHash> set;
+  const std::size_t n = t.row_count();
+  set.reserve(n);
+  const std::vector<std::size_t> cols = iota_cols(t.column_count());
+  std::vector<TupleKey> keys;
+  for (std::size_t begin = 0; begin < n; begin += kKeyChunk) {
+    const std::size_t end = std::min(n, begin + kKeyChunk);
+    keys.assign(end - begin, TupleKey{});
+    t.build_keys(cols, begin, end, keys.data());
+    for (auto& k : keys) set.insert(std::move(k));
+  }
+  return set;
+}
+
+}  // namespace
+
 Table Table::difference(const Table& a, const Table& b) {
   a.check_same_names(b);
-  Table out(a.schema_);
   if (a.width() == 0) {
-    out.unit_rows_ = (a.unit_rows_ > 0 && b.unit_rows_ == 0) ? a.unit_rows_ : 0;
+    Table out(a.schema_);
+    out.rows_ = (a.rows_ > 0 && b.rows_ == 0) ? a.rows_ : 0;
     return out;
   }
-  RowSet forbidden;
-  forbidden.reserve(b.row_count());
-  for (std::size_t i = 0; i < b.row_count(); ++i) {
-    forbidden.insert(RowRef{&b.data_, b.width(), i});
+  const auto forbidden = row_key_set(b);
+  const std::vector<std::size_t> cols = iota_cols(a.width());
+  std::vector<std::uint32_t> sel;
+  std::vector<TupleKey> keys;
+  for (std::size_t begin = 0; begin < a.rows_; begin += kKeyChunk) {
+    const std::size_t end = std::min(a.rows_, begin + kKeyChunk);
+    keys.assign(end - begin, TupleKey{});
+    a.build_keys(cols, begin, end, keys.data());
+    for (std::size_t i = begin; i < end; ++i) {
+      if (forbidden.count(keys[i - begin]) == 0) {
+        sel.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
   }
-  for (std::size_t i = 0; i < a.row_count(); ++i) {
-    if (!forbidden.count(RowRef{&a.data_, a.width(), i})) out.append(a.row(i));
-  }
-  return out;
+  return a.gather(sel);
 }
 
 Table Table::natural_join(const Table& a, const Table& b) {
@@ -263,26 +335,48 @@ Table Table::natural_join(const Table& a, const Table& b) {
   for (std::size_t j : b_rest) cols.push_back(b.schema().column(j));
   Table out(make_schema(std::move(cols)));
 
-  // Hash b's rows by their key tuple.
+  // Hash b's rows by their key tuple (keys packed per-column).
   IndexMap index;
   index.reserve(b.row_count());
-  for (std::size_t j = 0; j < b.row_count(); ++j) {
-    index[TupleKey::of_row(b.row(j), b_keys)].push_back(j);
+  std::vector<TupleKey> keys;
+  for (std::size_t begin = 0; begin < b.row_count(); begin += kKeyChunk) {
+    const std::size_t end = std::min(b.row_count(), begin + kKeyChunk);
+    keys.assign(end - begin, TupleKey{});
+    b.build_keys(b_keys, begin, end, keys.data());
+    for (std::size_t j = begin; j < end; ++j) {
+      index[std::move(keys[j - begin])].push_back(j);
+    }
   }
 
-  std::vector<Value> tmp(out.width());
-  for (std::size_t i = 0; i < a.row_count(); ++i) {
-    RowView ra = a.row(i);
-    auto it = index.find(TupleKey::of_row(ra, a_keys));
-    if (it == index.end()) continue;
-    std::copy(ra.begin(), ra.end(), tmp.begin());
-    for (std::size_t j : it->second) {
-      RowView rb = b.row(j);
-      for (std::size_t k = 0; k < b_rest.size(); ++k) {
-        tmp[a.column_count() + k] = rb[b_rest[k]];
+  // Probe in a-row order, collecting matching (a-row, b-row) id pairs; the
+  // output is then a per-column gather from each side.
+  std::vector<std::uint32_t> lsel, rsel;
+  for (std::size_t begin = 0; begin < a.row_count(); begin += kKeyChunk) {
+    const std::size_t end = std::min(a.row_count(), begin + kKeyChunk);
+    keys.assign(end - begin, TupleKey{});
+    a.build_keys(a_keys, begin, end, keys.data());
+    for (std::size_t i = begin; i < end; ++i) {
+      auto it = index.find(keys[i - begin]);
+      if (it == index.end()) continue;
+      for (std::size_t j : it->second) {
+        lsel.push_back(static_cast<std::uint32_t>(i));
+        rsel.push_back(static_cast<std::uint32_t>(j));
       }
-      out.append(RowView(tmp));
     }
+  }
+
+  out.rows_ = lsel.size();
+  auto gather_col = [](const Value* src, std::span<const std::uint32_t> sel) {
+    auto c = std::make_shared<ColumnData>(sel.size());
+    Value* dst = c->data();
+    for (std::size_t i = 0; i < sel.size(); ++i) dst[i] = src[sel[i]];
+    return c;
+  };
+  for (std::size_t j = 0; j < a.width(); ++j) {
+    out.cols_[j] = gather_col(a.cols_[j]->data(), lsel);
+  }
+  for (std::size_t k = 0; k < b_rest.size(); ++k) {
+    out.cols_[a.width() + k] = gather_col(b.cols_[b_rest[k]]->data(), rsel);
   }
   return out;
 }
@@ -304,23 +398,33 @@ Table Table::with_schema(SchemaPtr schema) const {
 
 bool Table::contains(RowView r) const {
   if (r.size() != width()) return false;
-  for (std::size_t i = 0; i < row_count(); ++i) {
-    RowView mine = row(i);
-    if (std::equal(mine.begin(), mine.end(), r.begin())) return true;
+  if (width() == 0) return rows_ > 0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    bool eq = true;
+    for (std::size_t j = 0; j < width(); ++j) {
+      if ((*cols_[j])[i] != r[j]) {
+        eq = false;
+        break;
+      }
+    }
+    if (eq) return true;
   }
   return false;
 }
 
 bool Table::contains_all(const Table& other) const {
   check_same_names(other);
-  if (width() == 0) return unit_rows_ > 0 || other.unit_rows_ == 0;
-  RowSet mine;
-  mine.reserve(row_count());
-  for (std::size_t i = 0; i < row_count(); ++i) {
-    mine.insert(RowRef{&data_, width(), i});
-  }
-  for (std::size_t i = 0; i < other.row_count(); ++i) {
-    if (!mine.count(RowRef{&other.data_, other.width(), i})) return false;
+  if (width() == 0) return rows_ > 0 || other.rows_ == 0;
+  const auto mine = row_key_set(*this);
+  const std::vector<std::size_t> cols = iota_cols(width());
+  std::vector<TupleKey> keys;
+  for (std::size_t begin = 0; begin < other.rows_; begin += kKeyChunk) {
+    const std::size_t end = std::min(other.rows_, begin + kKeyChunk);
+    keys.assign(end - begin, TupleKey{});
+    other.build_keys(cols, begin, end, keys.data());
+    for (const auto& k : keys) {
+      if (mine.count(k) == 0) return false;
+    }
   }
   return true;
 }
@@ -329,14 +433,29 @@ bool Table::set_equal(const Table& other) const {
   return contains_all(other) && other.contains_all(*this);
 }
 
+Table Table::sorted() const {
+  std::vector<std::uint32_t> order(rows_);
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              for (std::size_t j = 0; j < width(); ++j) {
+                const std::uint32_t x = (*cols_[j])[a].id();
+                const std::uint32_t y = (*cols_[j])[b].id();
+                if (x != y) return x < y;
+              }
+              return false;
+            });
+  return gather(order);
+}
+
 Table Table::sorted_by(const std::vector<std::string>& columns) const {
   std::vector<std::size_t> keys;
   keys.reserve(columns.size());
   for (const auto& c : columns) keys.push_back(schema_->index_of(c));
-  std::vector<std::size_t> order(row_count());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::uint32_t> order(rows_);
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
   std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
+                   [&](std::uint32_t a, std::uint32_t b) {
                      for (std::size_t k : keys) {
                        const std::string_view va = at(a, k).str();
                        const std::string_view vb = at(b, k).str();
@@ -344,15 +463,42 @@ Table Table::sorted_by(const std::vector<std::string>& columns) const {
                      }
                      return false;
                    });
-  Table out(schema_);
-  out.reserve_rows(row_count());
-  for (std::size_t i : order) out.append(row(i));
-  return out;
+  return gather(order);
 }
+
+// ---- Key building -----------------------------------------------------------
+
+void Table::build_keys(std::span<const std::size_t> cols, std::size_t begin,
+                       std::size_t end, TupleKey* out) const {
+  const std::size_t n = end - begin;
+  // Position-major: one sequential pass per key column.  Positions ascend,
+  // so overflow ids (arity > 4) push in the same order of_row encodes them.
+  for (std::size_t pos = 0; pos < cols.size(); ++pos) {
+    const Value* col = cols_[cols[pos]]->data() + begin;
+    if (pos < 4) {
+      const unsigned shift = (pos % 2 == 0) ? 32u : 0u;
+      if (pos < 2) {
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i].lo_ |= static_cast<std::uint64_t>(col[i].id()) << shift;
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i].hi_ |= static_cast<std::uint64_t>(col[i].id()) << shift;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i].overflow_.push_back(col[i].id());
+      }
+    }
+  }
+}
+
+// ---- Secondary indexes ------------------------------------------------------
 
 namespace {
 
-/// Guards every table's index-cache pointer and map structure.  One global
+/// Guards every table's index-cache pointers and map structure.  One global
 /// mutex (not per-table) keeps Table trivially copyable; the guarded
 /// sections are pointer installs and map lookups only — index *builds*
 /// happen outside it.
@@ -360,10 +506,6 @@ std::mutex& index_cache_mutex() {
   static std::mutex mu;
   return mu;
 }
-
-/// Below this row count a parallel index build costs more than it saves.
-constexpr std::size_t kParallelIndexThreshold = 2048;
-constexpr std::size_t kIndexBuildGrain = 1024;
 
 }  // namespace
 
@@ -403,11 +545,33 @@ const Table::IndexMap& Table::index_on(const std::vector<std::size_t>& columns,
       .first->second.map;
 }
 
+const JoinIndex& Table::join_index_on(const std::vector<std::size_t>& columns,
+                                      std::size_t jobs) const {
+  {
+    std::lock_guard<std::mutex> lock(index_cache_mutex());
+    if (join_cache_) {
+      auto it = join_cache_->find(columns);
+      if (it != join_cache_->end()) return it->second.index;
+    }
+  }
+  JoinIndex built = JoinIndex::build(*this, columns, jobs);
+  obs::MemReservation mem(obs::MemTracker::Category::kIndexes,
+                          built.memory_bytes());
+  std::lock_guard<std::mutex> lock(index_cache_mutex());
+  if (!join_cache_) {
+    join_cache_ =
+        std::make_shared<std::map<std::vector<std::size_t>, CachedJoin>>();
+  }
+  return join_cache_
+      ->emplace(columns, CachedJoin{std::move(built), std::move(mem)})
+      .first->second.index;
+}
+
 std::size_t Table::index_memory_bytes(const IndexMap& index) {
   std::size_t bytes = index.bucket_count() * sizeof(void*);
   for (const auto& [key, rows] : index) {
     bytes += sizeof(std::pair<TupleKey, std::vector<std::size_t>>) +
-             rows.capacity() * sizeof(std::size_t);
+             key.heap_bytes() + rows.capacity() * sizeof(std::size_t);
   }
   return bytes;
 }
@@ -416,11 +580,12 @@ Table::IndexMap Table::build_index(const std::vector<std::size_t>& columns,
                                    std::size_t jobs) const {
   const std::size_t n = row_count();
   IndexMap m;
+  m.reserve(n);
   if (jobs > 1 && n >= kParallelIndexThreshold) {
-    // Partitioned build: each morsel hashes its own row range, partitions
-    // merge in morsel order.  Morsel i's rows all precede morsel j's for
-    // i < j, so every key's row list comes out ascending — byte-identical
-    // to the serial build.
+    // Partitioned build: each morsel packs and hashes its own row range,
+    // partitions merge in morsel order.  Morsel i's rows all precede morsel
+    // j's for i < j, so every key's row list comes out ascending —
+    // byte-identical to the serial build.
     const std::size_t morsels =
         (n + kIndexBuildGrain - 1) / kIndexBuildGrain;
     std::vector<IndexMap> parts(morsels);
@@ -429,11 +594,12 @@ Table::IndexMap Table::build_index(const std::vector<std::size_t>& columns,
         [&](std::size_t begin, std::size_t end, std::size_t morsel) {
           IndexMap& part = parts[morsel];
           part.reserve(end - begin);
+          std::vector<TupleKey> keys(end - begin);
+          build_keys(columns, begin, end, keys.data());
           for (std::size_t i = begin; i < end; ++i) {
-            part[index_key(row(i), columns)].push_back(i);
+            part[std::move(keys[i - begin])].push_back(i);
           }
         });
-    m.reserve(n);
     for (IndexMap& part : parts) {
       for (auto& [key, rows] : part) {
         auto& dst = m[key];
@@ -441,9 +607,14 @@ Table::IndexMap Table::build_index(const std::vector<std::size_t>& columns,
       }
     }
   } else {
-    m.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      m[index_key(row(i), columns)].push_back(i);
+    std::vector<TupleKey> keys;
+    for (std::size_t begin = 0; begin < n; begin += kKeyChunk) {
+      const std::size_t end = std::min(n, begin + kKeyChunk);
+      keys.assign(end - begin, TupleKey{});
+      build_keys(columns, begin, end, keys.data());
+      for (std::size_t i = begin; i < end; ++i) {
+        m[std::move(keys[i - begin])].push_back(i);
+      }
     }
   }
   return m;
@@ -454,20 +625,154 @@ bool Table::has_cached_index(const std::vector<std::size_t>& columns) const {
   return index_cache_ && index_cache_->count(columns) > 0;
 }
 
-Table Table::sorted() const {
-  std::vector<std::size_t> order(row_count());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    RowView ra = row(a), rb = row(b);
-    return std::lexicographical_compare(
-        ra.begin(), ra.end(), rb.begin(), rb.end(),
-        [](Value x, Value y) { return x.id() < y.id(); });
+bool Table::has_cached_join_index(
+    const std::vector<std::size_t>& columns) const {
+  std::lock_guard<std::mutex> lock(index_cache_mutex());
+  return join_cache_ && join_cache_->count(columns) > 0;
+}
+
+// ---- Radix join index -------------------------------------------------------
+
+namespace {
+
+/// Build sides below this row count get a single partition: the whole hash
+/// table already fits in cache, so radix scatter is pure overhead.
+constexpr std::size_t kRadixMinRows = 8192;
+/// Partition count targets ~this many build rows per partition.
+constexpr std::size_t kRadixTargetRows = 4096;
+constexpr std::size_t kRadixMaxBits = 6;  // at most 64 partitions
+
+std::atomic<bool>& radix_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("CCSQL_NO_RADIX");
+    return env == nullptr || env[0] == '\0' || env[0] == '0';
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool radix_join_enabled() {
+  return radix_flag().load(std::memory_order_relaxed);
+}
+
+void set_radix_join_enabled(bool enabled) {
+  radix_flag().store(enabled, std::memory_order_relaxed);
+}
+
+JoinIndex JoinIndex::build(const Table& t, std::span<const std::size_t> cols,
+                           std::size_t jobs) {
+  JoinIndex idx;
+  const std::size_t n = t.row_count();
+  idx.rows_ = n;
+
+  std::size_t bits = 0;
+  if (radix_join_enabled() && n >= kRadixMinRows) {
+    while (bits < kRadixMaxBits &&
+           (std::size_t{1} << (bits + 1)) <= n / kRadixTargetRows) {
+      ++bits;
+    }
+    if (bits == 0) bits = 1;  // past the threshold, always partition
+  }
+  const std::size_t parts = std::size_t{1} << bits;
+  idx.mask_ = parts - 1;
+  idx.parts_.assign(parts, IndexMap{});
+
+  // Pass 1: pack every row's key, morsel-parallel (morsel boundaries are
+  // jobs-independent, and each morsel writes disjoint key slots).
+  std::vector<TupleKey> keys(n);
+  core::Pool::global().parallel_for(
+      n, kKeyChunk, jobs,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        t.build_keys(cols, begin, end, keys.data() + begin);
+      });
+
+  if (parts == 1) {
+    IndexMap& m = idx.parts_[0];
+    m.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m[std::move(keys[i])].push_back(i);
+    }
+    return idx;
+  }
+
+  // Pass 2: count rows per (morsel, partition), then prefix-sum into
+  // scatter offsets.  Scattering in morsel order keeps each partition's
+  // (key, row) list in ascending row order, so per-key row lists — and
+  // therefore probe output — are byte-identical to the single-partition
+  // build at any partition count and any jobs value.
+  const std::size_t morsels = (n + kKeyChunk - 1) / kKeyChunk;
+  std::vector<std::uint8_t> pid(n);
+  std::vector<std::vector<std::uint32_t>> counts(
+      morsels, std::vector<std::uint32_t>(parts, 0));
+  core::Pool::global().parallel_for(
+      n, kKeyChunk, jobs,
+      [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+        std::vector<std::uint32_t>& c = counts[morsel];
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto p =
+              static_cast<std::uint8_t>(keys[i].hash() & idx.mask_);
+          pid[i] = p;
+          ++c[p];
+        }
+      });
+
+  std::vector<std::size_t> part_total(parts, 0);
+  std::vector<std::vector<std::uint32_t>> offsets(
+      morsels, std::vector<std::uint32_t>(parts, 0));
+  for (std::size_t p = 0; p < parts; ++p) {
+    std::size_t running = 0;
+    for (std::size_t m = 0; m < morsels; ++m) {
+      offsets[m][p] = static_cast<std::uint32_t>(running);
+      running += counts[m][p];
+    }
+    part_total[p] = running;
+  }
+
+  struct PartInput {
+    std::vector<TupleKey> keys;
+    std::vector<std::uint32_t> rows;
+  };
+  std::vector<PartInput> inputs(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    inputs[p].keys.resize(part_total[p]);
+    inputs[p].rows.resize(part_total[p]);
+  }
+  core::Pool::global().parallel_for(
+      n, kKeyChunk, jobs,
+      [&](std::size_t begin, std::size_t end, std::size_t morsel) {
+        std::vector<std::uint32_t> cursor = offsets[morsel];
+        for (std::size_t i = begin; i < end; ++i) {
+          PartInput& in = inputs[pid[i]];
+          const std::uint32_t d = cursor[pid[i]]++;
+          in.keys[d] = std::move(keys[i]);
+          in.rows[d] = static_cast<std::uint32_t>(i);
+        }
+      });
+
+  // Pass 3: each partition's hash map builds independently — no serial
+  // merge, and a probe only ever touches one partition-sized map.
+  core::Pool::global().parallel_tasks(parts, jobs, [&](std::size_t p) {
+    PartInput& in = inputs[p];
+    IndexMap& m = idx.parts_[p];
+    m.reserve(in.keys.size());
+    for (std::size_t d = 0; d < in.keys.size(); ++d) {
+      m[std::move(in.keys[d])].push_back(in.rows[d]);
+    }
   });
-  Table out(schema_);
-  out.unit_rows_ = unit_rows_;
-  out.reserve_rows(row_count());
-  for (std::size_t i : order) out.append(row(i));
-  return out;
+  return idx;
+}
+
+std::size_t JoinIndex::key_count() const noexcept {
+  std::size_t keys = 0;
+  for (const auto& p : parts_) keys += p.size();
+  return keys;
+}
+
+std::size_t JoinIndex::memory_bytes() const noexcept {
+  std::size_t bytes = parts_.capacity() * sizeof(IndexMap);
+  for (const auto& p : parts_) bytes += Table::index_memory_bytes(p);
+  return bytes;
 }
 
 }  // namespace ccsql

@@ -11,10 +11,13 @@ TableIndex::TableIndex(const Table& table,
   for (const auto& name : key_columns) {
     key_cols_.push_back(table.schema().index_of(name));
   }
+  std::vector<ColumnView> cols;
+  cols.reserve(key_cols_.size());
+  for (std::size_t c : key_cols_) cols.push_back(table.column(c));
   std::vector<Value> key(key_cols_.size());
   for (std::size_t r = 0; r < table.row_count(); ++r) {
     for (std::size_t k = 0; k < key_cols_.size(); ++k) {
-      key[k] = table.at(r, key_cols_[k]);
+      key[k] = cols[k][r];
     }
     if (!index_.emplace(key_string(key), r).second) {
       throw Error("TableIndex: duplicate key tuple at row " +

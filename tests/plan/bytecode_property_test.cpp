@@ -115,7 +115,7 @@ TEST(BytecodeProperty, EnginesSelectIdenticalRows) {
         for (std::size_t i = b; i < be; ++i) {
           sel.push_back(static_cast<std::uint32_t>(i));
         }
-        prog.eval_batch(t.row(0).data(), s.size(), sel, out, scratch);
+        prog.eval_batch(t.column_ptrs(), sel, out, scratch);
         batch_hits.insert(batch_hits.end(), out.begin(), out.end());
       }
       EXPECT_EQ(batch_hits, expected)

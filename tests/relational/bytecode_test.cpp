@@ -179,7 +179,8 @@ TEST(Bytecode, BatchMatchesScalar) {
     bc::Sel sel(t.row_count());
     std::iota(sel.begin(), sel.end(), 0u);
     bc::Sel hits;
-    prog.eval_batch(t.row(0).data(), s->size(), sel, hits, scratch);
+    const std::vector<const Value*> cols = t.column_ptrs();
+    prog.eval_batch(cols, sel, hits, scratch);
 
     bc::Sel expected;
     for (std::uint32_t i = 0; i < t.row_count(); ++i) {
@@ -189,9 +190,8 @@ TEST(Bytecode, BatchMatchesScalar) {
 
     // The dense-range entry point must agree, at any batch boundary.
     bc::Sel range_hits;
-    prog.eval_range(t.row(0).data(), s->size(), 0,
-                    static_cast<std::uint32_t>(t.row_count()), range_hits,
-                    scratch);
+    prog.eval_range(cols, 0, static_cast<std::uint32_t>(t.row_count()),
+                    range_hits, scratch);
     EXPECT_EQ(range_hits, expected) << text << " (range)";
   }
 }
@@ -207,7 +207,7 @@ TEST(Bytecode, BatchRespectsInputSelection) {
   bc::Scratch scratch;
   bc::Sel sel = {1, 2, 3, 50, 98, 99};
   bc::Sel hits;
-  prog.eval_batch(t.row(0).data(), s->size(), sel, hits, scratch);
+  prog.eval_batch(t.column_ptrs(), sel, hits, scratch);
   EXPECT_EQ(hits, (bc::Sel{1, 3, 99}));
 }
 
