@@ -15,7 +15,12 @@
 //   ccsql sim [ASSIGNMENT] [--fig4] [--quads N] [--txns N] [--seed N]
 //                                     table-driven simulation
 //   ccsql reach [ASSIGNMENT] [--quads N] [--addrs N] [--ops N]
-//                                     exhaustive exploration (baseline)
+//         [--symmetry] [--classify] [--witness] [--sequential]
+//                                     exhaustive exploration: parallel
+//                                     symmetry-reduced explorer by default
+//                                     (--sequential for the string-keyed
+//                                     oracle), --classify labels VCG cycles
+//                                     against the reachable states
 //   ccsql flow                        the full push-button report
 //
 // Global flags (any command):
@@ -102,6 +107,15 @@ int usage() {
          "  codegen TABLE [--casez]  emit code from an implementation table\n"
          "  sim [ASSIGNMENT] [--fig4] [--quads N] [--txns N] [--seed N]\n"
          "  reach [ASSIGNMENT] [--quads N] [--addrs N] [--ops N]\n"
+         "        [--symmetry] [--classify] [--witness] [--sequential]\n"
+         "        [--max-states N] [--first-deadlock]\n"
+         "        [--only-ops A,B] [--node-ops N,M]\n"
+         "                           parallel reachability (sharded visited\n"
+         "                           set, deterministic at any --jobs);\n"
+         "                           --symmetry canonicalizes modulo quad/\n"
+         "                           address permutations, --classify labels\n"
+         "                           each VCG cycle reachable/unreachable,\n"
+         "                           --witness prints the deadlock trace\n"
          "  lint                     specification hygiene advisories\n"
          "  serve [--sessions N] [--iterations N] [--no-cache]\n"
          "        [--max-inflight N] [--writer N] [--script FILE] [-v]\n"
@@ -255,21 +269,74 @@ int cmd_sim(const ProtocolSpec& spec, const Args& args) {
 int cmd_reach(const ProtocolSpec& spec, const Args& args) {
   const std::string assignment =
       args.positional.empty() ? asura::kAssignV5Fix : args.positional[0];
-  ReachConfig cfg;
+  ReachParallelConfig cfg;
   cfg.n_quads = args.value_of("--quads", 2);
   cfg.n_addrs = args.value_of("--addrs", 1);
   cfg.ops_per_node = args.value_of("--ops", 2);
   cfg.max_states =
       static_cast<std::uint64_t>(args.value_of("--max-states", 2000000));
   cfg.stop_at_first_deadlock = args.has("--first-deadlock");
-  ReachResult r = explore(spec, spec.assignment(assignment), cfg);
+  cfg.symmetry = args.has("--symmetry");
+  // Directed exploration: comma-separated op names / per-node budgets.
+  if (const std::string ops = args.str_value_of("--only-ops", "");
+      !ops.empty()) {
+    std::istringstream ss(ops);
+    for (std::string tok; std::getline(ss, tok, ',');) {
+      if (!tok.empty()) cfg.inject_ops.push_back(tok);
+    }
+  }
+  if (const std::string budgets = args.str_value_of("--node-ops", "");
+      !budgets.empty()) {
+    std::istringstream ss(budgets);
+    for (std::string tok; std::getline(ss, tok, ',');) {
+      if (!tok.empty()) cfg.ops_by_node.push_back(std::stoi(tok));
+    }
+  }
+
+  if (args.has("--sequential")) {
+    ReachResult r = explore(spec, spec.assignment(assignment), cfg);
+    std::cout << "states=" << r.states << " transitions=" << r.transitions
+              << " complete=" << r.complete
+              << " deadlock_states=" << r.deadlock_states
+              << " violations=" << r.violations.size() << " ("
+              << r.seconds << "s)\n";
+    for (const auto& v : r.violations) std::cout << "  " << v << "\n";
+    if (r.deadlock_states > 0) std::cout << r.deadlock_example;
+    return r.verified() ? 0 : 1;
+  }
+
+  ReachParallelResult r =
+      explore_parallel(spec, spec.assignment(assignment), cfg);
   std::cout << "states=" << r.states << " transitions=" << r.transitions
             << " complete=" << r.complete
             << " deadlock_states=" << r.deadlock_states
-            << " violations=" << r.violations.size() << " ("
-            << r.seconds << "s)\n";
+            << " violations=" << r.violations.size()
+            << " waves=" << r.waves << " dedup=" << r.dedup_hits
+            << " canon=" << r.canon_group << " (" << r.seconds << "s)\n";
   for (const auto& v : r.violations) std::cout << "  " << v << "\n";
-  if (r.deadlock_states > 0) std::cout << r.deadlock_example;
+  if (r.deadlock_states > 0) {
+    std::cout << r.deadlock_example;
+    std::cout << "witness: " << r.deadlock_trace.size()
+              << " actions to the first deadlock\n";
+    if (args.has("--witness")) {
+      for (const auto& act : r.deadlock_trace) {
+        std::cout << "  " << act.to_string() << "\n";
+      }
+    }
+  }
+
+  if (args.has("--classify")) {
+    std::vector<ControllerTableRef> refs;
+    for (const auto& c : spec.controllers()) {
+      refs.push_back(
+          ControllerTableRef::from_spec(*c, spec.database().get(c->name())));
+    }
+    DeadlockAnalysis analysis(refs, spec.assignment(assignment));
+    std::cout << "cycle classification:\n"
+              << format_classification(classify_cycles(
+                     spec, spec.assignment(assignment), analysis.cycles(),
+                     cfg));
+  }
   return r.verified() ? 0 : 1;
 }
 
@@ -416,7 +483,9 @@ int main(int argc, char** argv) {
       args.flags.emplace_back(flag);
       const bool string_valued = flag == "--trace" ||
                                  flag == "--trace-format" ||
-                                 flag == "--script";
+                                 flag == "--script" ||
+                                 flag == "--only-ops" ||
+                                 flag == "--node-ops";
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         if (string_valued) {
           args.flags.emplace_back(argv[++i]);

@@ -20,6 +20,8 @@ ReachResult explore(const ProtocolSpec& spec, const ChannelAssignment& v,
   sim_cfg.n_addrs = config.n_addrs;
   sim_cfg.channel_capacity = config.channel_capacity;
   sim_cfg.transactions_per_node = config.ops_per_node;
+  sim_cfg.transactions_by_node = config.ops_by_node;
+  sim_cfg.workload_ops = config.inject_ops;
 
   sim::Machine machine(spec, v, sim_cfg);
   machine.enable_random_workload();  // sets the per-node injection budget

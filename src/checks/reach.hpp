@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "checks/vcg.hpp"
 #include "protocol/channel_assignment.hpp"
 #include "protocol/protocol_spec.hpp"
+#include "sim/machine.hpp"
 #include "sim/types.hpp"
 
 namespace ccsql {
@@ -25,6 +28,14 @@ struct ReachConfig {
   std::uint64_t max_states = 2'000'000;
   /// Stop as soon as one global deadlock state is found (witness hunting).
   bool stop_at_first_deadlock = false;
+  /// Directed exploration: when non-empty, only these operation names are
+  /// injected (e.g. {"prd", "patomic"} reaches the Figure 4 wedge without
+  /// paying for the full alphabet's interleavings).
+  std::vector<std::string> inject_ops;
+  /// Per-node injection budgets overriding ops_per_node (index = node id;
+  /// empty = uniform).  Asymmetric budgets break quad interchangeability,
+  /// so explore_parallel ignores `symmetry` when this is set.
+  std::vector<int> ops_by_node;
 };
 
 /// Outcome of the exhaustive search.
@@ -54,5 +65,84 @@ struct ReachResult {
 /// database approach.
 ReachResult explore(const ProtocolSpec& spec, const ChannelAssignment& v,
                     const ReachConfig& config);
+
+// ---- Parallel, symmetry-reduced exploration ---------------------------------
+// explore_parallel() is the scaled-up successor of explore(): the same BFS
+// semantics, but driven as waves on the shared work-stealing pool, with the
+// visited set keyed on 128-bit hashed canonical fingerprints instead of
+// strings, optional quad/address orbit canonicalization, and parent-pointer
+// bookkeeping so every deadlock comes back with a replayable action trace.
+// Aggregates (states, transitions, deadlock count, the violation set) are
+// identical at any `jobs` value, and — with symmetry off — identical to the
+// sequential explore() on every config neither search truncates.
+
+struct ReachParallelConfig : ReachConfig {
+  /// Parallel lanes for wave expansion; 0 = core::Pool::default_jobs().
+  std::size_t jobs = 0;
+  /// Collapse states equal up to quad permutation (plus the consistent
+  /// address relabeling the home function requires) onto one visited-set
+  /// key.  Sound: the relabelings are automorphisms of the transition
+  /// system, so verdicts are preserved; visited-state counts shrink by up
+  /// to the orbit factor.
+  bool symmetry = false;
+};
+
+/// One reachable global-deadlock state, with enough context to classify
+/// VCG cycles against it and to replay it.
+struct ReachDeadlock {
+  std::uint64_t state = 0;            // explorer state id (BFS order)
+  std::vector<Value> occupied;        // wedged virtual channels, sorted
+  /// Action trace from the initial state; feeding it through a fresh
+  /// sim::Machine reproduces the deadlock.
+  std::vector<sim::Machine::Action> trace;
+};
+
+struct ReachParallelResult : ReachResult {
+  std::uint64_t waves = 0;       // BFS depth reached
+  std::uint64_t dedup_hits = 0;  // successor candidates already visited
+  std::uint64_t canon_group = 1; // symmetry-group order (relabelings tried)
+  /// First deadlock found per distinct wedged-channel set, in BFS order.
+  std::vector<ReachDeadlock> deadlocks;
+  /// Convenience: the trace of the first deadlock (empty when none).
+  std::vector<sim::Machine::Action> deadlock_trace;
+};
+
+ReachParallelResult explore_parallel(const ProtocolSpec& spec,
+                                     const ChannelAssignment& v,
+                                     const ReachParallelConfig& config);
+
+// ---- VCG cycle classification ----------------------------------------------
+// The static deadlock analysis (checks/vcg.hpp) reports *potential* cycles;
+// classify_cycles() closes the loop against ground truth: one reachability
+// run collects every distinct wedged-channel set, and each VCG cycle is
+// labeled by whether some reachable deadlock's wedge is exactly the cycle's
+// channel set (the Figure 4 VC2/VC4 wedge matches the VC2<->VC4 cycle, but
+// not the composition-artifact VC2->VC2 / VC4->VC4 self-loops).
+
+enum class CycleVerdict {
+  kReachable,    // a reachable deadlock realizes exactly this channel set
+  kUnreachable,  // search exhausted the space without realizing it
+  kBudget,       // search truncated (max_states / first-deadlock stop)
+};
+
+struct CycleClassification {
+  std::size_t cycle_index = 0;     // index into the input cycle list
+  std::vector<Value> channels;     // the cycle's channel set, sorted
+  CycleVerdict verdict = CycleVerdict::kBudget;
+  /// Replayable witness trace for kReachable (empty otherwise).
+  std::vector<sim::Machine::Action> witness;
+  std::uint64_t states_searched = 0;
+};
+
+/// Labels each VCG cycle by targeted reachability under `config`.  The
+/// verdicts are deterministic at any jobs value; kUnreachable is only issued
+/// when the search completed, so it certifies spuriousness at this config.
+std::vector<CycleClassification> classify_cycles(
+    const ProtocolSpec& spec, const ChannelAssignment& v,
+    const std::vector<VcgCycle>& cycles, const ReachParallelConfig& config);
+
+/// The `reach_dump --classify` report: one line per cycle, golden-testable.
+std::string format_classification(
+    const std::vector<CycleClassification>& classifications);
 
 }  // namespace ccsql

@@ -123,7 +123,12 @@ void Machine::script(QuadId n, std::string_view op, Addr addr) {
 }
 
 void Machine::enable_random_workload() {
-  for (auto& n : nodes_) n.random_remaining = config_.transactions_per_node;
+  for (std::size_t q = 0; q < nodes_.size(); ++q) {
+    nodes_[q].random_remaining =
+        q < config_.transactions_by_node.size()
+            ? config_.transactions_by_node[q]
+            : config_.transactions_per_node;
+  }
 }
 
 std::vector<QuadId> Machine::snoop_targets(const DirLine& l,
@@ -885,19 +890,26 @@ std::vector<std::pair<Value, Addr>> Machine::legal_ops(QuadId q) const {
   std::vector<std::pair<Value, Addr>> out;
   const Node& n = nodes_[static_cast<std::size_t>(q)];
   if (n.ncst != v_of("idle") || n.iocst != v_of("idle")) return out;
+  const auto allowed = [&](const char* op) {
+    if (config_.workload_ops.empty()) return true;
+    for (const auto& name : config_.workload_ops) {
+      if (name == op) return true;
+    }
+    return false;
+  };
   for (Addr a = 0; a < config_.n_addrs; ++a) {
     auto it = n.cst.find(a);
     const Value cst = it == n.cst.end() ? v_of("I") : it->second;
     if (cst == v_of("I")) {
       for (const char* op : {"prd", "pwr", "patomic", "iord", "iowr"}) {
-        out.emplace_back(v_of(op), a);
+        if (allowed(op)) out.emplace_back(v_of(op), a);
       }
     } else if (cst == v_of("S")) {
       for (const char* op : {"pup", "pfl", "pevict"}) {
-        out.emplace_back(v_of(op), a);
+        if (allowed(op)) out.emplace_back(v_of(op), a);
       }
     } else {
-      out.emplace_back(v_of("pwb"), a);
+      if (allowed("pwb")) out.emplace_back(v_of("pwb"), a);
     }
   }
   return out;
@@ -972,13 +984,25 @@ void Machine::restore(const Snapshot& snap) {
   errors_ = snap.errors;
 }
 
-std::string Machine::fingerprint() const {
+namespace {
+
+/// Dense rank of `v` among the sorted distinct versions of its address.
+inline std::int64_t version_rank(const std::vector<std::int64_t>& vs,
+                                 std::int64_t v) noexcept {
+  if (v < 0) return -1;
+  return std::lower_bound(vs.begin(), vs.end(), v) - vs.begin();
+}
+
+}  // namespace
+
+std::vector<std::vector<std::int64_t>> Machine::version_table() const {
   // Data versions are normalised per address (order-preserving dense rank)
   // so the visited set is finite: states differing only by absolute version
   // numbers are control-equivalent.
-  std::map<Addr, std::map<std::int64_t, int>> rank;
+  std::vector<std::vector<std::int64_t>> vers(
+      static_cast<std::size_t>(config_.n_addrs));
   auto note = [&](Addr a, std::int64_t v) {
-    if (v >= 0) rank[a][v] = 0;
+    if (v >= 0) vers[static_cast<std::size_t>(a)].push_back(v);
   };
   for (const auto& he : homes_) {
     for (const auto& [a, v] : he.memory) note(a, v);
@@ -995,12 +1019,19 @@ std::string Machine::fingerprint() const {
     for (const auto& m : queue) note(m.addr, m.version);
   }
   for (const auto& [a, v] : gv_) note(a, v);
-  for (auto& [a, vs] : rank) {
-    int r = 0;
-    for (auto& [v, id] : vs) id = r++;
+  for (auto& vs : vers) {
+    std::sort(vs.begin(), vs.end());
+    vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
   }
+  return vers;
+}
+
+std::string Machine::fingerprint() const {
+  const std::vector<std::vector<std::int64_t>> vers = version_table();
   auto enc = [&](Addr a, std::int64_t v) {
-    return v < 0 ? std::string("-") : std::to_string(rank[a][v]);
+    return v < 0 ? std::string("-")
+                 : std::to_string(version_rank(
+                       vers[static_cast<std::size_t>(a)], v));
   };
 
   std::string fp;
@@ -1071,6 +1102,180 @@ std::string Machine::fingerprint() const {
     fp += '/';
   }
   return fp;
+}
+
+void Machine::encode_state(std::vector<std::uint64_t>& out,
+                           const Relabeling* relabel) const {
+  encode_with(out, relabel, version_table());
+}
+
+void Machine::encode_with(
+    std::vector<std::uint64_t>& out, const Relabeling* relabel,
+    const std::vector<std::vector<std::int64_t>>& vers) const {
+  auto qm = [&](QuadId q) -> std::int64_t {
+    return (relabel != nullptr && q >= 0)
+               ? relabel->quad[static_cast<std::size_t>(q)]
+               : q;
+  };
+  auto am = [&](Addr a) -> std::int64_t {
+    return (relabel != nullptr && a >= 0)
+               ? relabel->addr[static_cast<std::size_t>(a)]
+               : a;
+  };
+  auto rk = [&](Addr a, std::int64_t v) -> std::int64_t {
+    if (v < 0) return -1;
+    return version_rank(vers[static_cast<std::size_t>(a)], v);
+  };
+  auto w = [&](std::int64_t x) { out.push_back(static_cast<std::uint64_t>(x)); };
+
+  // Inverse quad map: emit engines in relabeled order so equivalent states
+  // encode identically.
+  const auto n_quads = static_cast<std::size_t>(config_.n_quads);
+  std::vector<std::size_t> qinv(n_quads);
+  for (std::size_t q = 0; q < n_quads; ++q) {
+    qinv[static_cast<std::size_t>(qm(static_cast<QuadId>(q)))] = q;
+  }
+
+  for (std::size_t hp = 0; hp < n_quads; ++hp) {
+    const HomeEngine& he = homes_[qinv[hp]];
+    std::vector<std::pair<std::int64_t, Addr>> order;
+    order.reserve(he.dir.size());
+    for (const auto& [a, l] : he.dir) order.emplace_back(am(a), a);
+    std::sort(order.begin(), order.end());
+    w(static_cast<std::int64_t>(order.size()));
+    for (const auto& [ap, a] : order) {
+      const DirLine& l = he.dir.at(a);
+      w(ap);
+      w(l.dirst.id());
+      std::vector<std::int64_t> pv;
+      pv.reserve(l.pv.size());
+      for (QuadId q : l.pv) pv.push_back(qm(q));
+      std::sort(pv.begin(), pv.end());
+      w(static_cast<std::int64_t>(pv.size()));
+      for (std::int64_t q : pv) w(q);
+      w(l.bdirst.id());
+      w(l.pending);
+      w(qm(l.requester));
+      w(rk(a, l.held));
+      w(rk(a, l.txver));
+    }
+    order.clear();
+    for (const auto& [a, v] : he.memory) order.emplace_back(am(a), a);
+    std::sort(order.begin(), order.end());
+    w(static_cast<std::int64_t>(order.size()));
+    for (const auto& [ap, a] : order) {
+      w(ap);
+      w(rk(a, he.memory.at(a)));
+    }
+  }
+
+  for (std::size_t qp = 0; qp < n_quads; ++qp) {
+    const Node& nd = nodes_[qinv[qp]];
+    std::vector<std::pair<std::int64_t, Addr>> order;
+    order.reserve(nd.cst.size());
+    for (const auto& [a, c] : nd.cst) order.emplace_back(am(a), a);
+    std::sort(order.begin(), order.end());
+    w(static_cast<std::int64_t>(order.size()));
+    for (const auto& [ap, a] : order) {
+      w(ap);
+      w(nd.cst.at(a).id());
+      const auto it = nd.cver.find(a);
+      w(rk(a, it != nd.cver.end() ? it->second : -1));
+    }
+    w(nd.ncst.id());
+    w(am(nd.cur));
+    w(nd.iocst.id());
+    w(am(nd.io_cur));
+    w(nd.random_remaining);
+    w(static_cast<std::int64_t>(nd.outbox.size()));
+    for (const auto& m : nd.outbox) {
+      w(m.type.id());
+      w(am(m.addr));
+      w(qm(m.dst));
+      w(rk(m.addr, m.version));
+    }
+  }
+
+  struct QueueEnc {
+    std::int64_t src, dst;
+    std::uint32_t vc;
+    const std::deque<SimMessage>* q;
+    bool operator<(const QueueEnc& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return vc < o.vc;
+    }
+  };
+  std::vector<QueueEnc> queues;
+  for (const auto& [key, queue] : net_.state()) {
+    if (queue.empty()) continue;
+    queues.push_back(QueueEnc{qm(key.src), qm(key.dst), key.vc.id(), &queue});
+  }
+  std::sort(queues.begin(), queues.end());
+  w(static_cast<std::int64_t>(queues.size()));
+  for (const QueueEnc& qe : queues) {
+    w(qe.src);
+    w(qe.dst);
+    w(qe.vc);
+    w(static_cast<std::int64_t>(qe.q->size()));
+    for (const auto& m : *qe.q) {
+      w(m.type.id());
+      w(am(m.addr));
+      w(qm(m.src));
+      w(rk(m.addr, m.version));
+    }
+  }
+}
+
+namespace {
+
+/// splitmix64 finalizer — fast, well-avalanched mixing for the state hash.
+inline std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+inline std::array<std::uint64_t, 2> hash_words(
+    const std::vector<std::uint64_t>& words) noexcept {
+  // Two independently-seeded splitmix lanes give an effective 128-bit key:
+  // at the few-million-state scales the explorer reaches, the collision
+  // probability is ~n^2 / 2^128 — negligible.
+  std::uint64_t h0 = 0x243F6A8885A308D3ull;
+  std::uint64_t h1 = 0x13198A2E03707344ull;
+  for (std::uint64_t wrd : words) {
+    h0 = splitmix64(h0 ^ wrd);
+    h1 = splitmix64(h1 + (wrd * 0xA24BAED4963EE407ull));
+  }
+  return {splitmix64(h0 ^ words.size()), splitmix64(h1 ^ words.size())};
+}
+
+}  // namespace
+
+std::array<std::uint64_t, 2> Machine::state_hash(
+    const Relabeling* relabel) const {
+  static thread_local std::vector<std::uint64_t> words;
+  words.clear();
+  encode_state(words, relabel);
+  return hash_words(words);
+}
+
+std::array<std::uint64_t, 2> Machine::canonical_hash(
+    const std::vector<Relabeling>& group) const {
+  if (group.empty()) return state_hash(nullptr);
+  // The version ranking is relabeling-invariant modulo the per-address
+  // permutation of the table itself (encode_with indexes it through the
+  // *unrelabeled* address), so one computation serves the whole orbit.
+  const auto vers = version_table();
+  std::array<std::uint64_t, 2> best{~0ull, ~0ull};
+  static thread_local std::vector<std::uint64_t> words;
+  for (const Relabeling& r : group) {
+    words.clear();
+    encode_with(words, &r, vers);
+    best = std::min(best, hash_words(words));
+  }
+  return best;
 }
 
 bool Machine::quiescent() const {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -138,6 +140,46 @@ class Machine {
   /// Canonical encoding of the state, for visited-set hashing.
   [[nodiscard]] std::string fingerprint() const;
 
+  // ---- Hashed canonical encodings (parallel exploration) -------------------
+  // The parallel explorer (checks/reach.hpp) keys its visited set on 128-bit
+  // hashes of a numeric state encoding instead of fingerprint() strings, and
+  // canonicalizes modulo the protocol's structural symmetry: quads are
+  // interchangeable, and so are addresses within one home class, as long as
+  // both are relabeled consistently (home_of must commute with the
+  // relabeling).
+
+  /// A joint relabeling of quad and address identifiers: old id -> new id.
+  /// Sound when `addr` maps every home class onto the class of the permuted
+  /// home, i.e. addr[a] % n_quads == quad[a % n_quads] for all a.
+  struct Relabeling {
+    std::vector<QuadId> quad;
+    std::vector<Addr> addr;
+  };
+
+  /// Appends the canonical numeric encoding of the current state to `out`,
+  /// every quad/address id relabeled through `relabel` (identity when null).
+  /// Two states encode equal iff fingerprint() distinguishes them equal
+  /// under the same relabeling; data versions are dense-ranked per address
+  /// exactly as in fingerprint().
+  void encode_state(std::vector<std::uint64_t>& out,
+                    const Relabeling* relabel = nullptr) const;
+
+  /// 128-bit splitmix-style hash of encode_state() under one relabeling.
+  [[nodiscard]] std::array<std::uint64_t, 2> state_hash(
+      const Relabeling* relabel = nullptr) const;
+
+  /// Orbit-canonical hash: the minimum state_hash over every relabeling in
+  /// `group` (the identity hash when the group is empty).  Equivalent states
+  /// — equal up to a group element — collapse onto one key.
+  [[nodiscard]] std::array<std::uint64_t, 2> canonical_hash(
+      const std::vector<Relabeling>& group) const;
+
+  /// Virtual channels holding at least one queued message (deadlock
+  /// classification: which VCG channels are actually wedged).
+  [[nodiscard]] std::vector<Value> occupied_vcs() const {
+    return net_.occupied_vcs();
+  }
+
   /// True when nothing is in flight and every controller is idle.
   [[nodiscard]] bool quiescent() const;
 
@@ -163,6 +205,15 @@ class Machine {
   [[nodiscard]] QuadId home_of(Addr a) const {
     return a % config_.n_quads;
   }
+  /// Sorted distinct live data versions per address — the order-preserving
+  /// dense-rank normalisation both fingerprint() and encode_state() apply so
+  /// the visited set is finite.  Indexed by address (0..n_addrs-1); a
+  /// version's rank is its position in the address's vector.
+  [[nodiscard]] std::vector<std::vector<std::int64_t>> version_table() const;
+  /// encode_state with a precomputed version table (the relabeling-invariant
+  /// part), so orbit canonicalization pays for the ranking only once.
+  void encode_with(std::vector<std::uint64_t>& out, const Relabeling* relabel,
+                   const std::vector<std::vector<std::int64_t>>& vers) const;
   DirLine& line(QuadId home, Addr a);
   Node& node(QuadId q) { return nodes_[static_cast<std::size_t>(q)]; }
   static Value enc_count(std::size_t n);

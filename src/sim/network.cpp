@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace ccsql::sim {
@@ -73,6 +74,17 @@ std::string Network::describe_blocked() const {
     os << '\n';
   }
   return os.str();
+}
+
+std::vector<Value> Network::occupied_vcs() const {
+  std::vector<Value> out;
+  for (const auto& [key, queue] : queues_) {
+    if (queue.empty() || key.vc.is_null()) continue;
+    out.push_back(key.vc);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace ccsql::sim

@@ -54,6 +54,12 @@ class Network {
   /// Occupancy of every non-empty queue, for deadlock reports.
   [[nodiscard]] std::string describe_blocked() const;
 
+  /// Distinct assigned virtual channels with at least one queued message
+  /// (dedicated NULL-channel paths excluded), sorted.  In a deadlock state
+  /// this is the wedge's channel set — what cycle classification matches
+  /// against VCG cycles.
+  [[nodiscard]] std::vector<Value> occupied_vcs() const;
+
   struct Key {
     QuadId src;
     QuadId dst;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "relational/value.hpp"
 
@@ -65,6 +66,15 @@ struct SimConfig {
   std::uint64_t max_steps = 200000;
   /// Transactions to inject per node.
   int transactions_per_node = 50;
+  /// Per-node budgets overriding transactions_per_node (index = node id;
+  /// nodes beyond the vector keep the uniform budget).  Asymmetric budgets
+  /// break quad interchangeability, so the reachability explorer disables
+  /// symmetry reduction when this is set.
+  std::vector<int> transactions_by_node;
+  /// When non-empty, the random workload injects only these operation
+  /// names (directed exploration of a suspected interleaving, e.g.
+  /// {"prd", "patomic"} for the Figure 4 memory-interference wedge).
+  std::vector<std::string> workload_ops;
   unsigned seed = 1;
 };
 

@@ -1,0 +1,104 @@
+// Soundness of the symmetry reduction: exploring modulo the quad/address
+// permutation group must preserve every verdict while visiting only one
+// representative per orbit.
+#include <gtest/gtest.h>
+
+#include "checks/reach.hpp"
+#include "protocol/asura/asura.hpp"
+
+namespace ccsql {
+namespace {
+
+const ProtocolSpec& spec() {
+  static const std::unique_ptr<ProtocolSpec> s = asura::make_asura();
+  return *s;
+}
+
+TEST(ReachSymmetry, DifferentialAgainstUnreducedSearch) {
+  // (2 quads, 4 addrs): two home classes of two addresses each, so the
+  // group is the quad swap times per-class address swaps — order 8.
+  ReachParallelConfig cfg;
+  cfg.n_quads = 2;
+  cfg.n_addrs = 4;
+  cfg.ops_per_node = 1;
+
+  const ReachParallelResult full =
+      explore_parallel(spec(), spec().assignment(asura::kAssignV5Fix), cfg);
+  cfg.symmetry = true;
+  const ReachParallelResult reduced =
+      explore_parallel(spec(), spec().assignment(asura::kAssignV5Fix), cfg);
+
+  EXPECT_EQ(reduced.canon_group, 8u);
+  EXPECT_EQ(full.canon_group, 1u);
+
+  // Verdicts must agree exactly.
+  EXPECT_EQ(full.verified(), reduced.verified());
+  EXPECT_EQ(full.complete, reduced.complete);
+  EXPECT_EQ(full.deadlock_states > 0, reduced.deadlock_states > 0);
+  EXPECT_EQ(full.violations, reduced.violations);
+
+  // The reduction is real: at least 4x fewer states, and never more than
+  // the group order (each orbit has at most |G| members).
+  EXPECT_GE(full.states, 4 * reduced.states)
+      << full.states << " vs " << reduced.states;
+  EXPECT_LE(full.states, reduced.canon_group * reduced.states);
+  EXPECT_LT(reduced.states, full.states);
+}
+
+TEST(ReachSymmetry, UnequalHomeClassesRestrictTheGroup) {
+  // (2 quads, 3 addrs): home 0 owns {a0, a2}, home 1 owns {a1}.  The quad
+  // swap maps classes of different sizes, so only the identity quad
+  // permutation survives; swapping a0 and a2 remains — group order 2.
+  ReachParallelConfig cfg;
+  cfg.n_quads = 2;
+  cfg.n_addrs = 3;
+  cfg.ops_per_node = 1;
+
+  const ReachParallelResult full =
+      explore_parallel(spec(), spec().assignment(asura::kAssignV5), cfg);
+  cfg.symmetry = true;
+  const ReachParallelResult reduced =
+      explore_parallel(spec(), spec().assignment(asura::kAssignV5), cfg);
+
+  EXPECT_EQ(reduced.canon_group, 2u);
+  EXPECT_EQ(full.verified(), reduced.verified());
+  EXPECT_EQ(full.violations, reduced.violations);
+  EXPECT_LT(reduced.states, full.states);
+  EXPECT_LE(full.states, 2 * reduced.states);
+}
+
+TEST(ReachSymmetry, SymmetryIsDeterministicAcrossJobs) {
+  ReachParallelConfig cfg;
+  cfg.n_quads = 2;
+  cfg.n_addrs = 4;
+  cfg.ops_per_node = 1;
+  cfg.symmetry = true;
+  cfg.jobs = 1;
+  const ReachParallelResult r1 =
+      explore_parallel(spec(), spec().assignment(asura::kAssignV5Fix), cfg);
+  cfg.jobs = 4;
+  const ReachParallelResult r4 =
+      explore_parallel(spec(), spec().assignment(asura::kAssignV5Fix), cfg);
+  EXPECT_EQ(r1.states, r4.states);
+  EXPECT_EQ(r1.transitions, r4.transitions);
+  EXPECT_EQ(r1.dedup_hits, r4.dedup_hits);
+  EXPECT_EQ(r1.waves, r4.waves);
+}
+
+TEST(ReachSymmetry, AsymmetricBudgetsDisableTheGroup) {
+  // Per-node budgets make quads distinguishable; requesting symmetry then
+  // must fall back to the exact search rather than unsoundly merging.
+  ReachParallelConfig cfg;
+  cfg.n_quads = 2;
+  cfg.n_addrs = 2;
+  cfg.ops_per_node = 1;
+  cfg.ops_by_node = {1, 0};
+  cfg.symmetry = true;
+  const ReachParallelResult r =
+      explore_parallel(spec(), spec().assignment(asura::kAssignV5Fix), cfg);
+  EXPECT_EQ(r.canon_group, 1u);
+  EXPECT_TRUE(r.complete);
+}
+
+}  // namespace
+}  // namespace ccsql
