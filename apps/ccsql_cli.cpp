@@ -12,8 +12,12 @@
 //   ccsql map                         section 5 hardware-mapping flow
 //   ccsql codegen TABLE [--casez]     emit controller code from an
 //                                     implementation table
-//   ccsql sim [ASSIGNMENT] [--fig4] [--quads N] [--txns N] [--seed N]
-//                                     table-driven simulation
+//   ccsql sim [ASSIGNMENT] [--fig4] [--quads N] [--addrs N] [--txns N]
+//         [--seed N] [--workload NAME] [--no-dense]
+//                                     table-driven simulation (dense
+//                                     dispatch; --no-dense for the hashed
+//                                     TableIndex baseline), reporting
+//                                     events/sec
 //   ccsql reach [ASSIGNMENT] [--quads N] [--addrs N] [--ops N]
 //         [--symmetry] [--classify] [--witness] [--sequential]
 //                                     exhaustive exploration: parallel
@@ -105,7 +109,12 @@ int usage() {
          "  deadlock [ASSIGNMENT]    deadlock analysis (default: all)\n"
          "  map                      hardware-mapping flow\n"
          "  codegen TABLE [--casez]  emit code from an implementation table\n"
-         "  sim [ASSIGNMENT] [--fig4] [--quads N] [--txns N] [--seed N]\n"
+         "  sim [ASSIGNMENT] [--fig4] [--quads N] [--addrs N] [--txns N]\n"
+         "      [--seed N] [--workload NAME] [--no-dense]\n"
+         "                           table-driven simulation; workloads:\n"
+         "                           random, lock, producer-consumer,\n"
+         "                           false-sharing, streaming; --no-dense\n"
+         "                           uses the hashed TableIndex baseline\n"
          "  reach [ASSIGNMENT] [--quads N] [--addrs N] [--ops N]\n"
          "        [--symmetry] [--classify] [--witness] [--sequential]\n"
          "        [--max-states N] [--first-deadlock]\n"
@@ -229,10 +238,22 @@ int cmd_sim(const ProtocolSpec& spec, const Args& args) {
       args.positional.empty() ? asura::kAssignV5Fix : args.positional[0];
   sim::SimConfig cfg;
   cfg.n_quads = args.value_of("--quads", 4);
-  cfg.n_addrs = cfg.n_quads * 2;
+  cfg.n_addrs = args.value_of("--addrs", cfg.n_quads * 2);
   cfg.channel_capacity = args.value_of("--capacity", 2);
   cfg.transactions_per_node = args.value_of("--txns", 100);
   cfg.seed = static_cast<unsigned>(args.value_of("--seed", 1));
+  cfg.dense_dispatch = !args.has("--no-dense");
+  if (const std::string wl = args.str_value_of("--workload", "");
+      !wl.empty()) {
+    const auto parsed = sim::parse_workload(wl);
+    if (!parsed) {
+      std::cerr << "unknown workload '" << wl
+                << "' (random, lock, producer-consumer, false-sharing, "
+                   "streaming)\n";
+      return 2;
+    }
+    cfg.workload = *parsed;
+  }
 
   if (args.has("--fig4")) {
     cfg.n_quads = 3;
@@ -255,11 +276,14 @@ int cmd_sim(const ProtocolSpec& spec, const Args& args) {
 
   sim::Machine m(spec, spec.assignment(assignment), cfg);
   m.set_memory_latency(args.value_of("--latency", 2));
-  m.enable_random_workload();
+  m.enable_workload();
   sim::SimResult r = m.run();
   std::cout << "completed=" << r.completed << " deadlocked=" << r.deadlocked
             << " steps=" << r.steps << " transactions="
-            << r.transactions_done << " errors=" << r.errors.size() << "\n";
+            << r.transactions_done << " errors=" << r.errors.size()
+            << " workload=" << sim::workload_name(cfg.workload)
+            << " dispatch=" << (cfg.dense_dispatch ? "dense" : "hashed")
+            << " events/sec=" << r.events_per_sec() << "\n";
   for (const auto& e : r.errors) std::cout << "  " << e << "\n";
   if (r.deadlocked) std::cout << r.deadlock_report;
   if (args.has("--metrics")) std::cout << r.counters.summary();
@@ -485,7 +509,8 @@ int main(int argc, char** argv) {
                                  flag == "--trace-format" ||
                                  flag == "--script" ||
                                  flag == "--only-ops" ||
-                                 flag == "--node-ops";
+                                 flag == "--node-ops" ||
+                                 flag == "--workload";
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         if (string_valued) {
           args.flags.emplace_back(argv[++i]);

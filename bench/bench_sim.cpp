@@ -8,9 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.hpp"
+#include "core/pool.hpp"
 #include "sim/machine.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -81,11 +84,96 @@ void BM_RandomWorkloadThroughput(benchmark::State& state) {
 BENCHMARK(BM_RandomWorkloadThroughput)->Arg(50)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 
+void set_metric(const std::string& name, std::uint64_t value) {
+  obs::Tracer::global().metrics().set(name, value);
+}
+
+std::uint64_t rate(std::uint64_t events, double seconds) {
+  return static_cast<std::uint64_t>(events / (seconds > 0 ? seconds : 1e-9));
+}
+
+/// One single-machine throughput run on the reference 4-quad config, with
+/// the dispatch engine selected (dense fast path vs hashed baseline).
+SimResult run_throughput(bool dense) {
+  SimConfig cfg;
+  cfg.n_quads = 4;
+  cfg.n_addrs = 8;
+  cfg.channel_capacity = 2;
+  cfg.transactions_per_node = 1500;
+  cfg.max_steps = 2000000;
+  cfg.seed = 7;
+  cfg.dense_dispatch = dense;
+  Machine m(asura_spec(), asura_spec().assignment(ccsql::asura::kAssignV5Fix),
+            cfg);
+  m.set_memory_latency(3);
+  m.enable_workload();
+  return m.run();
+}
+
+/// The CI perf-smoke legs: fixed configs, one run each, ccsql-bench/1 out.
+int run_smoke() {
+  std::printf("# Experiment SIM (smoke): simulator throughput in events/sec "
+              "(pool default_jobs = %zu)\n",
+              core::Pool::default_jobs());
+  enable_metrics();
+
+  // Dense dispatch vs the hashed TableIndex baseline on the same config:
+  // identical trajectories (same events), different engine cost.
+  const SimResult dense = run_throughput(/*dense=*/true);
+  const SimResult hashed = run_throughput(/*dense=*/false);
+  set_metric("bench.sim.dense_events", dense.counters.events());
+  set_metric("bench.sim.dense_events_per_sec_qps",
+             rate(dense.counters.events(), dense.seconds));
+  set_metric("bench.sim.hashed_events_per_sec_qps",
+             rate(hashed.counters.events(), hashed.seconds));
+  set_metric("bench.sim.dense_speedup_pct",
+             hashed.counters.events() > 0 && hashed.seconds > 0
+                 ? rate(dense.counters.events(), dense.seconds) * 100 /
+                       std::max<std::uint64_t>(
+                           1, rate(hashed.counters.events(), hashed.seconds))
+                 : 0);
+  std::printf("#   dense:  %llu events in %.3fs (%llu/s)\n",
+              static_cast<unsigned long long>(dense.counters.events()),
+              dense.seconds,
+              static_cast<unsigned long long>(
+                  rate(dense.counters.events(), dense.seconds)));
+  std::printf("#   hashed: %llu events in %.3fs (%llu/s)\n",
+              static_cast<unsigned long long>(hashed.counters.events()),
+              hashed.seconds,
+              static_cast<unsigned long long>(
+                  rate(hashed.counters.events(), hashed.seconds)));
+
+  // Pool-parallel sweep over the default validation grid.
+  const SweepEngine engine(asura_spec());
+  const auto grid = default_sweep_grid(ccsql::asura::kAssignV5Fix, 2);
+  const SweepResult sweep = engine.run(grid, core::Pool::default_jobs());
+  set_metric("bench.sim.sweep_runs", grid.size());
+  set_metric("bench.sim.sweep_events", sweep.events);
+  set_metric("bench.sim.sweep_events_per_sec_qps", sweep.events_per_sec);
+  set_metric("bench.sim.sweep_cycles", sweep.merged.cycles);
+  std::printf("#   sweep:  %zu runs, %llu events in %.3fs (%llu/s)\n",
+              grid.size(), static_cast<unsigned long long>(sweep.events),
+              sweep.seconds,
+              static_cast<unsigned long long>(sweep.events_per_sec));
+
+  finish_metrics("bench_sim");
+  // The smoke run doubles as a sanity gate: identical trajectories across
+  // dispatch engines, and a fully healthy default sweep.
+  const bool ok = dense.healthy() && hashed.healthy() &&
+                  dense.counters.events() == hashed.counters.events() &&
+                  dense.steps == hashed.steps && sweep.all_healthy();
+  if (!ok) std::fprintf(stderr, "bench_sim: smoke verdict mismatch\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ccsql;
   using namespace ccsql::bench;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
   std::printf("# Experiment SIM: Figure 4 deadlock, dynamically\n");
   for (const char* a : {asura::kAssignV5, asura::kAssignV5Fix}) {
     SimResult r = run_fig4(a);

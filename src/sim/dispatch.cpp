@@ -1,0 +1,108 @@
+#include "sim/dispatch.hpp"
+
+#include <algorithm>
+
+#include "protocol/asura/asura.hpp"
+#include "protocol/protocol_spec.hpp"
+#include "relational/error.hpp"
+
+namespace ccsql::sim {
+
+ControllerDispatch::ControllerDispatch(const Table& table,
+                                       std::vector<std::string> key_columns,
+                                       Mode mode)
+    : table_(&table) {
+  if (mode == Mode::kDense) {
+    // One code table per key column: the distinct symbols appearing in the
+    // column, densely renumbered.  A queried symbol outside the column's
+    // domain can match no row, so code 0 doubles as an early miss.
+    std::vector<ColumnView> cols;
+    cols.reserve(key_columns.size());
+    for (const auto& name : key_columns) {
+      cols.push_back(table.column(table.schema().index_of(name)));
+    }
+    key_cols_.resize(cols.size());
+    std::size_t slots = 1;
+    for (std::size_t k = 0; k < cols.size() && slots <= kDenseLimit; ++k) {
+      KeyCol& kc = key_cols_[k];
+      std::uint16_t next = 0;
+      for (std::size_t r = 0; r < table.row_count(); ++r) {
+        const std::uint32_t id = cols[k][r].id();
+        if (id >= kc.codes.size()) kc.codes.resize(id + 1, 0);
+        if (kc.codes[id] == 0) kc.codes[id] = ++next;
+      }
+      slots *= next == 0 ? 1 : next;
+    }
+    if (slots <= kDenseLimit) {
+      std::uint32_t stride = 1;
+      for (KeyCol& kc : key_cols_) {
+        kc.stride = stride;
+        const std::uint16_t card =
+            kc.codes.empty()
+                ? 0
+                : *std::max_element(kc.codes.begin(), kc.codes.end());
+        stride *= card == 0 ? 1 : card;
+      }
+      dense_rows_.assign(slots, -1);
+      for (std::size_t r = 0; r < table.row_count(); ++r) {
+        std::size_t idx = 0;
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          idx += static_cast<std::size_t>(
+                     key_cols_[k].codes[cols[k][r].id()] - 1) *
+                 key_cols_[k].stride;
+        }
+        if (dense_rows_[idx] >= 0) {
+          throw Error("ControllerDispatch: duplicate key tuple at row " +
+                      std::to_string(r));
+        }
+        dense_rows_[idx] = static_cast<std::int32_t>(r);
+      }
+      return;
+    }
+    // Sparse/overflow key space: fall through to the hashed fallback.
+    key_cols_.clear();
+  }
+  fallback_ = std::make_unique<TableIndex>(table, std::move(key_columns));
+}
+
+ControllerDispatch::Col ControllerDispatch::col(std::string_view name) {
+  const Col handle = static_cast<Col>(col_names_.size());
+  col_names_.emplace_back(name);
+  if (!dense_rows_.empty()) {
+    col_data_.push_back(
+        table_->column(table_->schema().index_of(name)).data());
+  }
+  return handle;
+}
+
+CompiledTables::CompiledTables(const ProtocolSpec& spec,
+                               ControllerDispatch::Mode mode)
+    : d(spec.database().catalog().get(asura::kDirectory),
+        {"inmsg", "dirst", "dirlookup", "dirpv", "bdirst", "bdirpv"}, mode),
+      m(spec.database().catalog().get(asura::kMemory), {"inmsg"}, mode),
+      nc(spec.database().catalog().get(asura::kNode), {"inmsg", "ncst"},
+         mode),
+      cc(spec.database().catalog().get(asura::kCache), {"inmsg", "cst"},
+         mode),
+      rsn(spec.database().catalog().get(asura::kRemoteSnoop),
+          {"inmsg", "rsnst"}, mode),
+      ioc(spec.database().catalog().get(asura::kIo), {"inmsg", "iocst"},
+          mode) {
+  dc = {d.col("locmsg"),   d.col("remmsg"),   d.col("memmsg"),
+        d.col("datapath"), d.col("nxtdirst"), d.col("nxtdirpv"),
+        d.col("nxtbdirst"), d.col("nxtbdirpv"), d.col("bdirop")};
+  mc = {m.col("outmsg"), m.col("memop")};
+  ncc = {nc.col("netmsg"), nc.col("fillmsg"), nc.col("nxtncst"),
+         nc.col("nccmpl")};
+  ccc = {cc.col("nxtcst"), cc.col("outmsg")};
+  rsnc = {rsn.col("cmdmsg"), rsn.col("nxtrsnst"), rsn.col("homemsg")};
+  iocc = {ioc.col("outmsg"), ioc.col("devmsg"), ioc.col("nxtiocst")};
+}
+
+std::shared_ptr<const CompiledTables> CompiledTables::compile(
+    const ProtocolSpec& spec, ControllerDispatch::Mode mode) {
+  return std::shared_ptr<const CompiledTables>(
+      new CompiledTables(spec, mode));
+}
+
+}  // namespace ccsql::sim

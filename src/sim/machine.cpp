@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "obs/obs.hpp"
@@ -9,6 +10,26 @@
 
 namespace ccsql::sim {
 
+SimCounters& SimCounters::operator+=(const SimCounters& o) {
+  msgs_sent += o.msgs_sent;
+  msgs_recv += o.msgs_recv;
+  table_hits += o.table_hits;
+  table_misses += o.table_misses;
+  send_stalls += o.send_stalls;
+  ops_injected += o.ops_injected;
+  cache_hits += o.cache_hits;
+  cycles += o.cycles;
+  mem_cycles += o.mem_cycles;
+  bus_cycles += o.bus_cycles;
+  c2c_cycles += o.c2c_cycles;
+  // Rates do not sum: the merged rate is events()/wall-clock of the whole
+  // sweep, which only the aggregator knows.  Zeroing keeps merges
+  // deterministic (byte-identical at any job count).
+  events_per_sec = 0;
+  for (const auto& [vc, n] : o.per_vc_sent) per_vc_sent[vc] += n;
+  return *this;
+}
+
 std::string SimCounters::summary() const {
   std::ostringstream os;
   const auto line = [&os](std::string_view name, std::uint64_t value) {
@@ -16,12 +37,19 @@ std::string SimCounters::summary() const {
     for (std::size_t i = name.size(); i < 22; ++i) os << ' ';
     os << value << "\n";
   };
+  line("sim.events", events());
+  line("sim.events_per_sec", events_per_sec);
   line("sim.msgs_sent", msgs_sent);
   line("sim.msgs_recv", msgs_recv);
   line("sim.table_hits", table_hits);
   line("sim.table_misses", table_misses);
   line("sim.send_stalls", send_stalls);
   line("sim.ops_injected", ops_injected);
+  line("sim.cache_hits", cache_hits);
+  line("sim.cycles", cycles);
+  line("sim.mem_cycles", mem_cycles);
+  line("sim.bus_cycles", bus_cycles);
+  line("sim.c2c_cycles", c2c_cycles);
   for (const auto& [vc, n] : per_vc_sent) {
     line("sim.vc_sent." +
              std::string(vc.is_null() ? std::string_view("direct")
@@ -31,49 +59,101 @@ std::string SimCounters::summary() const {
   return os.str();
 }
 
+std::optional<Workload> parse_workload(std::string_view name) {
+  if (name == "random") return Workload::kRandom;
+  if (name == "lock") return Workload::kLock;
+  if (name == "producer-consumer" || name == "pc") {
+    return Workload::kProducerConsumer;
+  }
+  if (name == "false-sharing" || name == "fs") return Workload::kFalseSharing;
+  if (name == "streaming" || name == "stream") return Workload::kStreaming;
+  return std::nullopt;
+}
+
+std::string_view workload_name(Workload w) {
+  switch (w) {
+    case Workload::kRandom: return "random";
+    case Workload::kLock: return "lock";
+    case Workload::kProducerConsumer: return "producer-consumer";
+    case Workload::kFalseSharing: return "false-sharing";
+    case Workload::kStreaming: return "streaming";
+  }
+  return "?";
+}
+
 namespace {
 
 Value v_of(std::string_view s) { return Symbol::intern(s); }
 
+/// Interned symbols the scheduler compares against on every event — cached
+/// once per process so the hot path never touches the intern pool's lock.
+struct Sym {
+  Value I = v_of("I"), S = v_of("S"), M = v_of("M"), E = v_of("E");
+  Value SI = v_of("SI"), MESI = v_of("MESI");
+  Value idle = v_of("idle"), w_wb = v_of("w-wb");
+  Value zero = v_of("zero"), one = v_of("one"), gone = v_of("gone");
+  Value miss = v_of("miss"), hit = v_of("hit"), stale = v_of("stale");
+  Value wb = v_of("wb"), evict = v_of("evict"), data = v_of("data");
+  Value iodata = v_of("iodata"), iocompl = v_of("iocompl");
+  Value retry = v_of("retry"), wbcancel = v_of("wbcancel");
+  Value mread = v_of("mread"), mwrite = v_of("mwrite");
+  Value mupd = v_of("mupd"), mrmw = v_of("mrmw");
+  Value sinv = v_of("sinv"), sfetch = v_of("sfetch"), sflush = v_of("sflush");
+  Value home = v_of("home"), remote = v_of("remote"), local = v_of("local");
+  Value mem2loc = v_of("mem2loc"), rem2loc = v_of("rem2loc");
+  Value alloc = v_of("alloc"), free_op = v_of("free");
+  Value repl = v_of("repl"), drepl = v_of("drepl");
+  Value inc = v_of("inc"), dec = v_of("dec");
+  Value done = v_of("done"), wr = v_of("wr");
+  Value cdata = v_of("cdata"), cwbdata = v_of("cwbdata");
+  Value pfill = v_of("pfill"), pfillx = v_of("pfillx");
+  Value prd = v_of("prd"), pwr = v_of("pwr"), pup = v_of("pup");
+  Value pwb = v_of("pwb"), pfl = v_of("pfl"), pevict = v_of("pevict");
+  Value patomic = v_of("patomic");
+  Value iord = v_of("iord"), iowr = v_of("iowr");
+  Value devdata = v_of("devdata"), devdone = v_of("devdone");
+};
+
+const Sym& sym() {
+  static const Sym s;
+  return s;
+}
+
 bool is_snoop(Value t) {
-  return t == v_of("sinv") || t == v_of("sfetch") || t == v_of("sflush");
+  const Sym& s = sym();
+  return t == s.sinv || t == s.sfetch || t == s.sflush;
 }
 
 bool is_mem_request(Value t) {
-  return t == v_of("mread") || t == v_of("mwrite") || t == v_of("mupd") ||
-         t == v_of("mrmw") || t == v_of("wb");
+  const Sym& s = sym();
+  return t == s.mread || t == s.mwrite || t == s.mupd || t == s.mrmw ||
+         t == s.wb;
 }
 
 }  // namespace
 
 Machine::Machine(const ProtocolSpec& spec, const ChannelAssignment& v,
                  SimConfig config)
+    : Machine(spec, v, config,
+              CompiledTables::compile(
+                  spec, config.dense_dispatch
+                            ? ControllerDispatch::Mode::kDense
+                            : ControllerDispatch::Mode::kHashed)) {}
+
+Machine::Machine(const ProtocolSpec& spec, const ChannelAssignment& v,
+                 SimConfig config,
+                 std::shared_ptr<const CompiledTables> tables)
     : spec_(&spec),
       config_(config),
       net_(v, config.n_quads, config.channel_capacity),
+      c2c_cost_(config.cycle_model.c2c_cycles(config.n_quads)),
+      tables_(std::move(tables)),
       rng_(config.seed) {
-  const Catalog& db = spec.database().catalog();
-  d_index_ = std::make_unique<TableIndex>(
-      db.get(asura::kDirectory),
-      std::vector<std::string>{"inmsg", "dirst", "dirlookup", "dirpv",
-                               "bdirst", "bdirpv"});
-  m_index_ = std::make_unique<TableIndex>(db.get(asura::kMemory),
-                                          std::vector<std::string>{"inmsg"});
-  nc_index_ = std::make_unique<TableIndex>(
-      db.get(asura::kNode), std::vector<std::string>{"inmsg", "ncst"});
-  cc_index_ = std::make_unique<TableIndex>(
-      db.get(asura::kCache), std::vector<std::string>{"inmsg", "cst"});
-  rsn_index_ = std::make_unique<TableIndex>(
-      db.get(asura::kRemoteSnoop),
-      std::vector<std::string>{"inmsg", "rsnst"});
-  ioc_index_ = std::make_unique<TableIndex>(
-      db.get(asura::kIo), std::vector<std::string>{"inmsg", "iocst"});
-
   homes_.resize(static_cast<std::size_t>(config_.n_quads));
   nodes_.resize(static_cast<std::size_t>(config_.n_quads));
   for (auto& n : nodes_) {
-    n.ncst = v_of("idle");
-    n.iocst = v_of("idle");
+    n.ncst = sym().idle;
+    n.iocst = sym().idle;
   }
   for (Addr a = 0; a < config_.n_addrs; ++a) {
     gv_[a] = 0;
@@ -94,9 +174,10 @@ Machine::DirLine& Machine::line(QuadId home, Addr a) {
 }
 
 Value Machine::enc_count(std::size_t n) {
-  if (n == 0) return v_of("zero");
-  if (n == 1) return v_of("one");
-  return v_of("gone");
+  const Sym& sy = sym();
+  if (n == 0) return sy.zero;
+  if (n == 1) return sy.one;
+  return sy.gone;
 }
 
 void Machine::set_line(Addr addr, std::string_view dirst,
@@ -122,7 +203,7 @@ void Machine::script(QuadId n, std::string_view op, Addr addr) {
   node(n).scripted.emplace_back(v_of(op), addr);
 }
 
-void Machine::enable_random_workload() {
+void Machine::enable_workload() {
   for (std::size_t q = 0; q < nodes_.size(); ++q) {
     nodes_[q].random_remaining =
         q < config_.transactions_by_node.size()
@@ -131,20 +212,28 @@ void Machine::enable_random_workload() {
   }
 }
 
-std::vector<QuadId> Machine::snoop_targets(const DirLine& l,
-                                           QuadId /*requester*/) const {
+const std::vector<QuadId>& Machine::snoop_targets(const DirLine& l,
+                                                  QuadId /*requester*/) {
   // Snoops go to every presence-vector member, including the requester
   // itself when it is one (an upgrading sharer's engine acknowledges its
   // own invalidation): the coarse zero/one/gone encoding means the
   // directory cannot exclude the requester, so the pending count is always
   // the full holder count.
-  return std::vector<QuadId>(l.pv.begin(), l.pv.end());
+  snoop_scratch_.assign(l.pv.begin(), l.pv.end());
+  return snoop_scratch_;
 }
 
 void Machine::post(const SimMessage& msg, QuadId home) {
   ++counters_.msgs_sent;
-  ++counters_.per_vc_sent[net_.vc_of(msg, home).value_or(Value{})];
-  net_.send(msg, home);
+  const Network::VcCode code = net_.vc_code(msg, home);
+  // Per-VC accounting goes into a flat array by code; counters() folds it
+  // into the per_vc_sent map — a map op per message would dominate post().
+  if (code >= vc_sent_.size()) vc_sent_.resize(code + 1, 0);
+  ++vc_sent_[code];
+  const auto bus = static_cast<std::uint64_t>(config_.cycle_model.bus_cycles);
+  counters_.bus_cycles += bus;
+  counters_.cycles += bus;
+  net_.send_coded(msg, code);
 }
 
 void Machine::consume(const Network::QueueRef& ref) {
@@ -185,8 +274,8 @@ void Machine::check_swmr(Addr addr) {
   for (const auto& n : nodes_) {
     auto it = n.cst.find(addr);
     if (it == n.cst.end()) continue;
-    if (it->second == v_of("M") || it->second == v_of("E")) ++owners;
-    if (it->second == v_of("S")) ++sharers;
+    if (it->second == sym().M || it->second == sym().E) ++owners;
+    if (it->second == sym().S) ++sharers;
   }
   if (owners > 1 || (owners == 1 && sharers > 0)) {
     record_error("SWMR violated at addr " + std::to_string(addr) + ": " +
@@ -195,43 +284,47 @@ void Machine::check_swmr(Addr addr) {
   }
 }
 
-Value Machine::apply_cache(QuadId q, std::string_view cmd, Addr addr) {
+Value Machine::apply_cache(QuadId q, Value cmd, Addr addr) {
   Node& n = node(q);
-  Value cst = n.cst.count(addr) ? n.cst[addr] : v_of("I");
-  auto row = cc_index_->find({v_of(cmd), cst});
+  const auto cit = n.cst.find(addr);
+  Value cst = cit != n.cst.end() ? cit->second : sym().I;
+  const ControllerDispatch& cc = tables_->cc;
+  auto row = lookup(cc, {cmd, cst});
   if (!row) {
-    record_error("CC table has no row for (" + std::string(cmd) + ", " +
-                 std::string(cst.str()) + ")");
+    record_error("CC table has no row for (" + std::string(cmd.str()) +
+                 ", " + std::string(cst.str()) + ")");
     return Value{};
   }
-  const Value nxt = cc_index_->at(*row, "nxtcst");
+  const Value nxt = cc.at(*row, tables_->ccc.nxtcst);
   if (!nxt.is_null()) {
     n.cst[addr] = nxt;
     check_swmr(addr);
   }
-  return cc_index_->at(*row, "outmsg");
+  return cc.at(*row, tables_->ccc.outmsg);
 }
 
 bool Machine::step_directory(QuadId q, const Network::QueueRef& ref,
                              const SimMessage& msg) {
+  const Sym& sy = sym();
   DirLine& l = line(q, msg.addr);
-  const bool busy = l.bdirst != v_of("I");
+  const bool busy = l.bdirst != sy.I;
   // While busy the directory entry lives in the busy directory: the stable
   // lookup reads invalid/empty (mutual-exclusion invariant).
-  const Value dirst = busy ? v_of("I") : l.dirst;
-  const Value dirpv = busy ? v_of("zero") : enc_count(l.pv.size());
+  const Value dirst = busy ? sy.I : l.dirst;
+  const Value dirpv = busy ? sy.zero : enc_count(l.pv.size());
   const Value bdirpv = enc_count(static_cast<std::size_t>(l.pending));
   // The directory lookup compares writeback / eviction senders against the
   // recorded holders: a sender outside the presence vector is stale.
-  Value dirlookup = dirst == v_of("I") ? v_of("miss") : v_of("hit");
-  if (dirlookup == v_of("hit") &&
-      (msg.type == v_of("wb") || msg.type == v_of("evict")) &&
+  Value dirlookup = dirst == sy.I ? sy.miss : sy.hit;
+  if (dirlookup == sy.hit &&
+      (msg.type == sy.wb || msg.type == sy.evict) &&
       l.pv.count(msg.src) == 0) {
-    dirlookup = v_of("stale");
+    dirlookup = sy.stale;
   }
 
-  auto row =
-      d_index_->find({msg.type, dirst, dirlookup, dirpv, l.bdirst, bdirpv});
+  const ControllerDispatch& d = tables_->d;
+  const CompiledTables::DirCols& dc = tables_->dc;
+  auto row = lookup(d, {msg.type, dirst, dirlookup, dirpv, l.bdirst, bdirpv});
   if (!row) {
     record_error("D table has no row for " + msg.to_string() + " dirst=" +
                  std::string(dirst.str()) + " dirlookup=" +
@@ -245,51 +338,52 @@ bool Machine::step_directory(QuadId q, const Network::QueueRef& ref,
 
   const bool request = spec_->messages().is_request(msg.type);
   const QuadId requester = request ? msg.src : l.requester;
-  const Value locmsg = d_index_->at(*row, "locmsg");
-  const Value remmsg = d_index_->at(*row, "remmsg");
-  const Value memmsg = d_index_->at(*row, "memmsg");
-  const Value datapath = d_index_->at(*row, "datapath");
+  const Value locmsg = d.at(*row, dc.locmsg);
+  const Value remmsg = d.at(*row, dc.remmsg);
+  const Value memmsg = d.at(*row, dc.memmsg);
+  const Value datapath = d.at(*row, dc.datapath);
 
-  std::vector<SimMessage> out;
-  const std::vector<QuadId> targets = snoop_targets(l, requester);
+  std::vector<SimMessage>& out = dir_out_;
+  out.clear();
+  const std::vector<QuadId>& targets = snoop_targets(l, requester);
 
   if (!remmsg.is_null()) {
     for (QuadId t : targets) {
-      out.push_back(SimMessage{remmsg, msg.addr, q, t, v_of("home"),
-                               v_of("remote"), -1});
+      out.push_back(SimMessage{remmsg, msg.addr, q, t, sy.home,
+                               sy.remote, -1});
     }
   }
   if (!memmsg.is_null()) {
     std::int64_t ver = -1;
-    if (memmsg == v_of("wb") || memmsg == v_of("mupd")) ver = msg.version;
-    if (memmsg == v_of("mwrite")) {
+    if (memmsg == sy.wb || memmsg == sy.mupd) ver = msg.version;
+    if (memmsg == sy.mwrite) {
       ver = msg.version >= 0 ? msg.version : l.txver;
     }
-    out.push_back(SimMessage{memmsg, msg.addr, q, q, v_of("home"),
-                             v_of("home"), ver});
+    out.push_back(SimMessage{memmsg, msg.addr, q, q, sy.home,
+                             sy.home, ver});
   }
   // Data routed to the requester travels as a `data` response unless the
   // completion message itself carries it (iodata).
   std::int64_t data_ver = -1;
-  if (datapath == v_of("mem2loc") || datapath == v_of("rem2loc")) {
+  if (datapath == sy.mem2loc || datapath == sy.rem2loc) {
     data_ver = msg.version >= 0 ? msg.version : l.held;
-    if (locmsg != v_of("iodata")) {
-      out.push_back(SimMessage{v_of("data"), msg.addr, q, requester,
-                               v_of("home"), v_of("local"), data_ver});
+    if (locmsg != sy.iodata) {
+      out.push_back(SimMessage{sy.data, msg.addr, q, requester,
+                               sy.home, sy.local, data_ver});
     }
   }
   if (!locmsg.is_null()) {
     // An I/O read is serialized here: the data it returns must be the
     // globally latest committed value at this moment (later writes may
     // overtake the delivery, which is fine).
-    if (locmsg == v_of("iodata") && data_ver != gv_[msg.addr]) {
+    if (locmsg == sy.iodata && data_ver != gv_[msg.addr]) {
       record_error("stale I/O read at addr " + std::to_string(msg.addr) +
                    ": got v" + std::to_string(data_ver) + " want v" +
                    std::to_string(gv_[msg.addr]));
     }
-    out.push_back(SimMessage{locmsg, msg.addr, q, requester, v_of("home"),
-                             v_of("local"),
-                             locmsg == v_of("iodata") ? data_ver : -1});
+    out.push_back(SimMessage{locmsg, msg.addr, q, requester, sy.home,
+                             sy.local,
+                             locmsg == sy.iodata ? data_ver : -1});
   }
 
   for (const auto& m : out) {
@@ -305,36 +399,36 @@ bool Machine::step_directory(QuadId q, const Network::QueueRef& ref,
   }
 
   // State updates.
-  const Value nxtdirst = d_index_->at(*row, "nxtdirst");
-  const Value nxtdirpv = d_index_->at(*row, "nxtdirpv");
-  const Value nxtbdirst = d_index_->at(*row, "nxtbdirst");
-  const Value nxtbdirpv = d_index_->at(*row, "nxtbdirpv");
-  const Value bdirop = d_index_->at(*row, "bdirop");
+  const Value nxtdirst = d.at(*row, dc.nxtdirst);
+  const Value nxtdirpv = d.at(*row, dc.nxtdirpv);
+  const Value nxtbdirst = d.at(*row, dc.nxtbdirst);
+  const Value nxtbdirpv = d.at(*row, dc.nxtbdirpv);
+  const Value bdirop = d.at(*row, dc.bdirop);
 
-  if (bdirop == v_of("alloc")) {
+  if (bdirop == sy.alloc) {
     l.requester = msg.src;
     l.txver = msg.version;
   }
   if (!nxtbdirst.is_null()) l.bdirst = nxtbdirst;
-  if (nxtbdirpv == v_of("repl")) {
+  if (nxtbdirpv == sy.repl) {
     l.pending = static_cast<int>(targets.size());
-  } else if (nxtbdirpv == v_of("dec")) {
+  } else if (nxtbdirpv == sy.dec) {
     l.pending = std::max(0, l.pending - 1);
   }
   if (!nxtdirst.is_null()) l.dirst = nxtdirst;
-  if (nxtdirpv == v_of("inc")) {
+  if (nxtdirpv == sy.inc) {
     l.pv.insert(requester);
-  } else if (nxtdirpv == v_of("repl")) {
+  } else if (nxtdirpv == sy.repl) {
     l.pv = {requester};
-  } else if (nxtdirpv == v_of("drepl")) {
+  } else if (nxtdirpv == sy.drepl) {
     l.pv.clear();
   }
   // Buffer a data response that must be held until invalidations finish
   // (Figure 3: data at Busy-rx-sd).
-  if (msg.type == v_of("data") && datapath.is_null() && busy) {
+  if (msg.type == sy.data && datapath.is_null() && busy) {
     l.held = msg.version;
   }
-  if (bdirop == v_of("free")) {
+  if (bdirop == sy.free_op) {
     l.requester = -1;
     l.held = -1;
     l.txver = -1;
@@ -346,31 +440,36 @@ bool Machine::step_directory(QuadId q, const Network::QueueRef& ref,
 
 bool Machine::step_memory(QuadId q, const Network::QueueRef& ref,
                           const SimMessage& msg) {
+  const Sym& sy = sym();
   HomeEngine& he = homes_[static_cast<std::size_t>(q)];
   if (he.cooldown > 0) return false;  // modelling memory latency
-  auto row = m_index_->find({msg.type});
+  const ControllerDispatch& m = tables_->m;
+  auto row = lookup(m, {msg.type});
   if (!row) {
     record_error("M table has no row for " + msg.to_string());
     consume(ref);
     return true;
   }
-  const Value outmsg = m_index_->at(*row, "outmsg");
+  const Value outmsg = m.at(*row, tables_->mc.outmsg);
   SimMessage resp;
   if (!outmsg.is_null()) {
-    resp = SimMessage{outmsg, msg.addr, q,       q,
-                      v_of("home"),     v_of("home"),
-                      outmsg == v_of("data") ? he.memory[msg.addr] : -1};
+    resp = SimMessage{outmsg, msg.addr, q, q, sy.home, sy.home,
+                      outmsg == sy.data ? he.memory[msg.addr] : -1};
     if (!net_.can_send(resp, q)) {
       ++counters_.send_stalls;
       return false;
     }
   }
   consume(ref);
-  if (m_index_->at(*row, "memop") == v_of("wr")) {
+  // Every consumed memory-controller message is a main-memory access.
+  const auto mem = static_cast<std::uint64_t>(config_.cycle_model.memory_cycles);
+  counters_.mem_cycles += mem;
+  counters_.cycles += mem;
+  if (m.at(*row, tables_->mc.memop) == sy.wr) {
     if (msg.version >= 0) {
       // Writeback / flush / posted update: install the carried version.
       he.memory[msg.addr] = msg.version;
-    } else if (msg.type == v_of("mwrite") || msg.type == v_of("mrmw")) {
+    } else if (msg.type == sy.mwrite || msg.type == sy.mrmw) {
       // Device write or atomic read-modify-write: commits a fresh value.
       gv_[msg.addr] += 1;
       he.memory[msg.addr] = gv_[msg.addr];
@@ -378,7 +477,7 @@ bool Machine::step_memory(QuadId q, const Network::QueueRef& ref,
   }
   if (!outmsg.is_null()) {
     // Reads observe memory after this request's own write (if any).
-    if (outmsg == v_of("data")) resp.version = he.memory[msg.addr];
+    if (outmsg == sy.data) resp.version = he.memory[msg.addr];
     post(resp, q);
   }
   he.cooldown = memory_latency_;
@@ -400,55 +499,65 @@ bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
   // The snoop is serviced atomically: snoop -> cache command -> cache
   // response -> home response.  Consuming the snoop therefore requires a
   // slot for the home response (this is the VC1 -> VC2 dependency).
-  auto row = rsn_index_->find({msg.type, v_of("idle")});
+  const Sym& sy = sym();
+  const ControllerDispatch& rsn = tables_->rsn;
+  const CompiledTables::RsnCols& rc = tables_->rsnc;
+  auto row = lookup(rsn, {msg.type, sy.idle});
   if (!row) {
     record_error("RSN table has no row for " + msg.to_string());
     consume(ref);
     return true;
   }
-  const Value cmd = rsn_index_->at(*row, "cmdmsg");
+  const Value cmd = rsn.at(*row, rc.cmdmsg);
   Node& n = node(q);
-  const Value cst = n.cst.count(msg.addr) ? n.cst[msg.addr] : v_of("I");
+  const Value cst = n.cst.count(msg.addr) ? n.cst[msg.addr] : sy.I;
 
   // Determine the cache response without mutating (peek).
-  auto cc_row = cc_index_->find({cmd, cst});
+  const ControllerDispatch& cc = tables_->cc;
+  auto cc_row = lookup(cc, {cmd, cst});
   if (!cc_row) {
     record_error("CC table has no row for (" + std::string(cmd.str()) +
                  ", " + std::string(cst.str()) + ")");
     consume(ref);
     return true;
   }
-  const Value cc_out = cc_index_->at(*cc_row, "outmsg");
-  auto resp_row = rsn_index_->find({cc_out, rsn_index_->at(*row, "nxtrsnst")});
+  const Value cc_out = cc.at(*cc_row, tables_->ccc.outmsg);
+  auto resp_row = lookup(rsn, {cc_out, rsn.at(*row, rc.nxtrsnst)});
   if (!resp_row) {
     record_error("RSN table has no row for cache response " +
                  std::string(cc_out.str()));
     consume(ref);
     return true;
   }
-  const Value homemsg = rsn_index_->at(*resp_row, "homemsg");
+  const Value homemsg = rsn.at(*resp_row, rc.homemsg);
   // A snoop can hit a line whose writeback is still in flight (the node
   // invalidated its copy when it issued pwb).  The snoop absorbs the
   // writeback: the dirty data is written through now and the node
   // controller is told to drop the transaction (wbcancel).
   const bool pending_wb =
-      n.ncst == v_of("w-wb") && n.cur == msg.addr;
+      n.ncst == sy.w_wb && n.cur == msg.addr;
   const bool dirty =
-      cst == v_of("M") || cst == v_of("E") || pending_wb;
+      cst == sy.M || cst == sy.E || pending_wb;
   std::int64_t ver = -1;
-  if (cc_out == v_of("cdata") || (cc_out == v_of("cwbdata") && dirty)) {
+  if (cc_out == sy.cdata || (cc_out == sy.cwbdata && dirty)) {
     ver = n.cver.count(msg.addr) ? n.cver[msg.addr] : -1;
   }
-  SimMessage resp{homemsg, msg.addr,     q, home_of(msg.addr),
-                  v_of("remote"), v_of("home"), ver};
+  SimMessage resp{homemsg, msg.addr, q, home_of(msg.addr),
+                  sy.remote, sy.home, ver};
   if (!net_.can_send(resp, q)) {
     ++counters_.send_stalls;
     return false;
   }
 
   consume(ref);
+  if (ver >= 0) {
+    // The snoop response carries the block out of this cache: a
+    // cache-to-cache transfer at 4N + (P+1) cycles.
+    counters_.c2c_cycles += static_cast<std::uint64_t>(c2c_cost_);
+    counters_.cycles += static_cast<std::uint64_t>(c2c_cost_);
+  }
   // Now apply the cache command for real.
-  (void)apply_cache(q, std::string(cmd.str()), msg.addr);
+  (void)apply_cache(q, cmd, msg.addr);
   // An invalidated dirty owner writes its line through to home memory
   // before acknowledging (the Figure 4 race: the modified line reaches
   // memory before the invalidation acknowledgement is processed).
@@ -457,18 +566,18 @@ bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
         n.cver[msg.addr];
   }
   if (pending_wb) {
-    apply_nc_internal(q, v_of("wbcancel"), msg.addr);
+    apply_nc_internal(q, sy.wbcancel, msg.addr);
     // If the writeback is still queued locally, purge it and complete the
     // transaction as absorbed; if it is already in the network it will
     // bounce off the busy line and its retry ends the transaction.
     auto it = std::find_if(n.outbox.begin(), n.outbox.end(),
                            [&](const SimMessage& m) {
-                             return m.type == v_of("wb") &&
+                             return m.type == sy.wb &&
                                     m.addr == msg.addr;
                            });
     if (it != n.outbox.end()) {
       n.outbox.erase(it);
-      apply_nc_internal(q, v_of("retry"), msg.addr);
+      apply_nc_internal(q, sy.retry, msg.addr);
     }
   }
   post(resp, q);
@@ -480,23 +589,27 @@ bool Machine::step_rsn(QuadId q, const Network::QueueRef& ref,
 
 void Machine::apply_nc_internal(QuadId q, Value type, Addr addr) {
   Node& n = node(q);
-  auto row = nc_index_->find({type, n.ncst});
+  const ControllerDispatch& nc = tables_->nc;
+  auto row = lookup(nc, {type, n.ncst});
   if (!row) {
     record_error("NC table has no row for internal (" +
                  std::string(type.str()) + ", " +
                  std::string(n.ncst.str()) + ")");
     return;
   }
-  const Value nxt = nc_index_->at(*row, "nxtncst");
+  const Value nxt = nc.at(*row, tables_->ncc.nxtncst);
   if (!nxt.is_null()) n.ncst = nxt;
-  if (nc_index_->at(*row, "nccmpl") == v_of("done")) ++n.done;
+  if (nc.at(*row, tables_->ncc.nccmpl) == sym().done) ++n.done;
   (void)addr;
 }
 
 bool Machine::step_node_response(QuadId q, const Network::QueueRef& ref,
                                  const SimMessage& msg) {
+  const Sym& sy = sym();
   Node& n = node(q);
-  auto row = nc_index_->find({msg.type, n.ncst});
+  const ControllerDispatch& nc = tables_->nc;
+  const CompiledTables::NodeCols& ncc = tables_->ncc;
+  auto row = lookup(nc, {msg.type, n.ncst});
   if (!row) {
     record_error("NC table has no row for (" + msg.to_string() + ", " +
                  std::string(n.ncst.str()) + ")");
@@ -504,27 +617,27 @@ bool Machine::step_node_response(QuadId q, const Network::QueueRef& ref,
     return true;
   }
   consume(ref);
-  const Value netmsg = nc_index_->at(*row, "netmsg");
-  const Value fillmsg = nc_index_->at(*row, "fillmsg");
-  const Value nxt = nc_index_->at(*row, "nxtncst");
-  const Value cmpl = nc_index_->at(*row, "nccmpl");
+  const Value netmsg = nc.at(*row, ncc.netmsg);
+  const Value fillmsg = nc.at(*row, ncc.fillmsg);
+  const Value nxt = nc.at(*row, ncc.nxtncst);
+  const Value cmpl = nc.at(*row, ncc.nccmpl);
 
   if (!fillmsg.is_null()) {
-    if (fillmsg == v_of("pfill")) {
+    if (fillmsg == sy.pfill) {
       // Reads must observe the latest committed write.
       if (msg.version != gv_[msg.addr]) {
         record_error("stale read fill at addr " + std::to_string(msg.addr) +
                      ": got v" + std::to_string(msg.version) + " want v" +
                      std::to_string(gv_[msg.addr]));
       }
-      (void)apply_cache(q, "pfill", msg.addr);
+      (void)apply_cache(q, sy.pfill, msg.addr);
       n.cver[msg.addr] = msg.version;
-    } else if (fillmsg == v_of("pfillx")) {
+    } else if (fillmsg == sy.pfillx) {
       if (msg.version >= 0 && msg.version != gv_[msg.addr]) {
         record_error("stale exclusive fill at addr " +
                      std::to_string(msg.addr));
       }
-      (void)apply_cache(q, "pfillx", msg.addr);
+      (void)apply_cache(q, sy.pfillx, msg.addr);
       gv_[msg.addr] += 1;  // the write commits
       n.cver[msg.addr] = gv_[msg.addr];
     }
@@ -532,11 +645,11 @@ bool Machine::step_node_response(QuadId q, const Network::QueueRef& ref,
   if (!netmsg.is_null()) {
     // Retry: re-issue the pending operation through the RAC buffer.
     n.outbox.push_back(SimMessage{netmsg, n.cur, q, home_of(n.cur),
-                                  v_of("local"), v_of("home"),
+                                  sy.local, sy.home,
                                   n.cver.count(n.cur) ? n.cver[n.cur] : -1});
   }
   if (!nxt.is_null()) n.ncst = nxt;
-  if (cmpl == v_of("done")) {
+  if (cmpl == sy.done) {
     ++n.done;
   }
   if (tracing()) {
@@ -548,7 +661,9 @@ bool Machine::step_node_response(QuadId q, const Network::QueueRef& ref,
 bool Machine::step_ioc(QuadId q, const Network::QueueRef& ref,
                        const SimMessage& msg) {
   Node& n = node(q);
-  auto row = ioc_index_->find({msg.type, n.iocst});
+  const ControllerDispatch& ioc = tables_->ioc;
+  const CompiledTables::IocCols& icc = tables_->iocc;
+  auto row = lookup(ioc, {msg.type, n.iocst});
   if (!row) {
     record_error("IOC table has no row for (" + msg.to_string() + ", " +
                  std::string(n.iocst.str()) + ")");
@@ -556,16 +671,16 @@ bool Machine::step_ioc(QuadId q, const Network::QueueRef& ref,
     return true;
   }
   consume(ref);
-  const Value outmsg = ioc_index_->at(*row, "outmsg");
-  const Value devmsg = ioc_index_->at(*row, "devmsg");
-  const Value nxt = ioc_index_->at(*row, "nxtiocst");
+  const Value outmsg = ioc.at(*row, icc.outmsg);
+  const Value devmsg = ioc.at(*row, icc.devmsg);
+  const Value nxt = ioc.at(*row, icc.nxtiocst);
   if (!outmsg.is_null()) {
     n.outbox.push_back(SimMessage{outmsg, n.io_cur, q, home_of(n.io_cur),
-                                  v_of("local"), v_of("home"), -1});
+                                  sym().local, sym().home, -1});
   }
-  if (devmsg == v_of("devdata")) {
+  if (devmsg == sym().devdata) {
     ++n.done;  // freshness was checked at the serialization point (D)
-  } else if (devmsg == v_of("devdone")) {
+  } else if (devmsg == sym().devdone) {
     ++n.done;
   }
   if (!nxt.is_null()) n.iocst = nxt;
@@ -577,16 +692,17 @@ bool Machine::step_ioc(QuadId q, const Network::QueueRef& ref,
 
 bool Machine::deliver(QuadId q, const Network::QueueRef& ref,
                       const SimMessage& msg) {
+  const Sym& sy = sym();
   const Value role_src = msg.role_src;
   const Value role_dst = msg.role_dst;
-  if (role_src == v_of("home") && role_dst == v_of("home")) {
+  if (role_src == sy.home && role_dst == sy.home) {
     return is_mem_request(msg.type) ? step_memory(q, ref, msg)
                                     : step_directory(q, ref, msg);
   }
-  if (role_dst == v_of("home")) return step_directory(q, ref, msg);
+  if (role_dst == sy.home) return step_directory(q, ref, msg);
   if (is_snoop(msg.type)) return step_rsn(q, ref, msg);
-  if (msg.type == v_of("iodata") || msg.type == v_of("iocompl") ||
-      (msg.type == v_of("retry") && node(q).iocst != v_of("idle") &&
+  if (msg.type == sy.iodata || msg.type == sy.iocompl ||
+      (msg.type == sy.retry && node(q).iocst != sy.idle &&
        node(q).io_cur == msg.addr)) {
     return step_ioc(q, ref, msg);
   }
@@ -606,9 +722,110 @@ bool Machine::drain_outbox(QuadId q) {
   return true;
 }
 
+std::pair<Value, Addr> Machine::random_op(QuadId q) {
+  const Sym& sy = sym();
+  Node& n = node(q);
+  const Addr addr =
+      static_cast<Addr>(rng_() % static_cast<unsigned>(config_.n_addrs));
+  Value op;
+  const auto cit = n.cst.find(addr);
+  const Value cst = cit != n.cst.end() ? cit->second : sy.I;
+  if (cst == sy.I) {
+    // Reads and writes dominate; device I/O and atomics mixed in.
+    const unsigned pick = rng_() % 8;
+    if (pick < 3) {
+      op = sy.prd;
+    } else if (pick < 6) {
+      op = sy.pwr;
+    } else if (pick == 6) {
+      op = sy.patomic;
+    } else {
+      op = (rng_() % 2 == 0) ? sy.iord : sy.iowr;
+    }
+  } else if (cst == sy.S) {
+    // Read hit (checked by issue_op), upgrade, flush, or eviction hint.
+    const unsigned pick = rng_() % 4;
+    op = pick == 0 ? sy.prd
+                   : (pick == 1 ? sy.pup
+                                : (pick == 2 ? sy.pfl : sy.pevict));
+  } else {  // M (E is never installed by this protocol's fills)
+    // A flush of one's own modified line is a writeback (pfl targets
+    // lines owned elsewhere or shared), so owners write hit or pwb.
+    op = (rng_() % 3 != 2) ? sy.pwr : sy.pwb;
+  }
+  return {op, addr};
+}
+
+std::pair<Value, Addr> Machine::workload_op(QuadId q) const {
+  const Sym& sy = sym();
+  const Node& n = nodes_[static_cast<std::size_t>(q)];
+  const std::uint64_t t = n.wl_tick;
+  const auto addrs = static_cast<std::uint64_t>(config_.n_addrs);
+  // Every shape is legality-adjusted against the node's cache state with
+  // the same rules the random generator obeys (issue_op converts pwr@S to
+  // pup; patomic/iord/iowr need I; pwb needs ownership), so a shape can
+  // never steer the tables into an uncovered row.
+  const auto cst_of = [&](Addr a) {
+    auto it = n.cst.find(a);
+    return it == n.cst.end() ? sy.I : it->second;
+  };
+  const auto write_to = [&](Addr a) -> std::pair<Value, Addr> {
+    return {sy.pwr, a};  // issue_op: I -> miss, S -> pup, M -> hit
+  };
+  switch (config_.workload) {
+    case Workload::kRandom:
+      break;  // handled by random_op
+    case Workload::kLock: {
+      // Everyone spins on line 0 (acquire with an atomic when the line is
+      // cold, write when held) and touches a private-ish payload line
+      // between acquisitions — maximal invalidation traffic on the lock.
+      const Addr lock = 0;
+      switch (t % 3) {
+        case 0:
+          if (cst_of(lock) == sy.I) return {sy.patomic, lock};
+          return write_to(lock);
+        case 1: {
+          const Addr payload =
+              addrs > 1 ? static_cast<Addr>(
+                              1 + (static_cast<std::uint64_t>(q) + t) %
+                                      (addrs - 1))
+                        : lock;
+          return write_to(payload);
+        }
+        default:
+          return write_to(lock);  // release
+      }
+    }
+    case Workload::kProducerConsumer: {
+      // Even nodes write the ring slot, odd nodes read it: data flows one
+      // way, so fills are mostly cache-to-cache from the last producer.
+      const Addr a = static_cast<Addr>(t % addrs);
+      return q % 2 == 0 ? write_to(a) : std::pair<Value, Addr>{sy.prd, a};
+    }
+    case Workload::kFalseSharing: {
+      // Node pairs hammer writes on one line per pair: the line ping-pongs
+      // M-state between the two forever.
+      const Addr a = static_cast<Addr>(static_cast<std::uint64_t>(q / 2) %
+                                       addrs);
+      return write_to(a);
+    }
+    case Workload::kStreaming: {
+      // Sequential scan, per-node stride offset, no reuse before wrap:
+      // almost every access misses and fills from memory.
+      const std::uint64_t stride =
+          std::max<std::uint64_t>(1, addrs / static_cast<std::uint64_t>(
+                                             config_.n_quads));
+      const Addr a = static_cast<Addr>(
+          (static_cast<std::uint64_t>(q) * stride + t) % addrs);
+      return q % 2 == 0 ? std::pair<Value, Addr>{sy.prd, a} : write_to(a);
+    }
+  }
+  return {sy.prd, 0};
+}
+
 bool Machine::inject(QuadId q) {
   Node& n = node(q);
-  if (n.ncst != v_of("idle") || n.iocst != v_of("idle")) return false;
+  if (n.ncst != sym().idle || n.iocst != sym().idle) return false;
 
   Value op;
   Addr addr = -1;
@@ -617,32 +834,12 @@ bool Machine::inject(QuadId q) {
     addr = n.scripted.front().second;
     n.scripted.pop_front();
   } else if (n.random_remaining > 0) {
-    addr = static_cast<Addr>(rng_() % static_cast<unsigned>(config_.n_addrs));
-    const Value cst = n.cst.count(addr) ? n.cst[addr] : v_of("I");
-    if (cst == v_of("I")) {
-      // Reads and writes dominate; device I/O and atomics mixed in.
-      const unsigned pick = rng_() % 8;
-      if (pick < 3) {
-        op = v_of("prd");
-      } else if (pick < 6) {
-        op = v_of("pwr");
-      } else if (pick == 6) {
-        op = v_of("patomic");
-      } else {
-        op = (rng_() % 2 == 0) ? v_of("iord") : v_of("iowr");
-      }
-    } else if (cst == v_of("S")) {
-      // Read hit (checked by issue_op), upgrade, flush, or eviction hint.
-      const unsigned pick = rng_() % 4;
-      op = pick == 0 ? v_of("prd")
-                     : (pick == 1 ? v_of("pup")
-                                  : (pick == 2 ? v_of("pfl")
-                                               : v_of("pevict")));
-    } else {  // M (E is never installed by this protocol's fills)
-      // A flush of one's own modified line is a writeback (pfl targets
-      // lines owned elsewhere or shared), so owners write hit or pwb.
-      op = (rng_() % 3 != 2) ? v_of("pwr") : v_of("pwb");
-    }
+    const std::pair<Value, Addr> pick = config_.workload == Workload::kRandom
+                                            ? random_op(q)
+                                            : workload_op(q);
+    op = pick.first;
+    addr = pick.second;
+    ++n.wl_tick;
     --n.random_remaining;
   } else {
     return false;
@@ -651,42 +848,47 @@ bool Machine::inject(QuadId q) {
 }
 
 bool Machine::issue_op(QuadId q, Value op, Addr addr) {
+  const Sym& sy = sym();
   Node& n = node(q);
   ++counters_.ops_injected;
-  const Value cst = n.cst.count(addr) ? n.cst[addr] : v_of("I");
+  const auto cit = n.cst.find(addr);
+  const Value cst = cit != n.cst.end() ? cit->second : sy.I;
 
   // Processor-side rules: hits complete locally; a write to a shared copy
   // is an upgrade.
-  if (op == v_of("prd") && cst != v_of("I")) {
+  if (op == sy.prd && cst != sy.I) {
     if (n.cver[addr] != gv_[addr]) {
       record_error("stale local copy read at addr " + std::to_string(addr));
     }
     ++n.done;
+    ++counters_.cache_hits;  // read hit: 0 cycles
     return true;
   }
-  if (op == v_of("pwr")) {
-    if (cst == v_of("M") || cst == v_of("E")) {
+  if (op == sy.pwr) {
+    if (cst == sy.M || cst == sy.E) {
       // Silent write hit on the owned line.
       gv_[addr] += 1;
       n.cver[addr] = gv_[addr];
       ++n.done;
+      ++counters_.cache_hits;  // write hit: 0 cycles
       return true;
     }
-    if (cst == v_of("S")) op = v_of("pup");
+    if (cst == sy.S) op = sy.pup;
   }
-  if (op == v_of("iord") || op == v_of("iowr")) {
+  if (op == sy.iord || op == sy.iowr) {
     // Device operations go through the I/O controller.
-    auto io_row = ioc_index_->find({op, v_of("idle")});
+    const ControllerDispatch& ioc = tables_->ioc;
+    auto io_row = lookup(ioc, {op, sy.idle});
     if (!io_row) {
       record_error("IOC table has no row for device op " +
                    std::string(op.str()));
       return true;
     }
     n.outbox.push_back(
-        SimMessage{ioc_index_->at(*io_row, "outmsg"), addr, q,
-                   home_of(addr), v_of("local"), v_of("home"), -1});
+        SimMessage{ioc.at(*io_row, tables_->iocc.outmsg), addr, q,
+                   home_of(addr), sy.local, sy.home, -1});
     n.io_cur = addr;
-    n.iocst = ioc_index_->at(*io_row, "nxtiocst");
+    n.iocst = ioc.at(*io_row, tables_->iocc.nxtiocst);
     if (tracing()) {
       CCSQL_INSTANT("sim.inject", "sim", ::ccsql::obs::arg("t", now_),
                     ::ccsql::obs::arg("node", q),
@@ -696,24 +898,26 @@ bool Machine::issue_op(QuadId q, Value op, Addr addr) {
     return true;
   }
 
-  auto row = nc_index_->find({op, v_of("idle")});
+  const ControllerDispatch& nc = tables_->nc;
+  auto row = lookup(nc, {op, sy.idle});
   if (!row) {
     record_error("NC table has no row for processor op " +
                  std::string(op.str()));
     return true;
   }
-  const Value netmsg = nc_index_->at(*row, "netmsg");
-  const Value fillmsg = nc_index_->at(*row, "fillmsg");
-  const std::int64_t ver = n.cver.count(addr) ? n.cver[addr] : -1;
+  const Value netmsg = nc.at(*row, tables_->ncc.netmsg);
+  const Value fillmsg = nc.at(*row, tables_->ncc.fillmsg);
+  const auto vit = n.cver.find(addr);
+  const std::int64_t ver = vit != n.cver.end() ? vit->second : -1;
   if (!fillmsg.is_null()) {
-    (void)apply_cache(q, std::string(fillmsg.str()), addr);
+    (void)apply_cache(q, fillmsg, addr);
   }
   if (!netmsg.is_null()) {
     n.outbox.push_back(SimMessage{netmsg, addr, q, home_of(addr),
-                                  v_of("local"), v_of("home"), ver});
+                                  sy.local, sy.home, ver});
   }
   n.cur = addr;
-  n.ncst = nc_index_->at(*row, "nxtncst");
+  n.ncst = nc.at(*row, tables_->ncc.nxtncst);
   if (tracing()) {
     CCSQL_INSTANT("sim.inject", "sim", ::ccsql::obs::arg("t", now_),
                   ::ccsql::obs::arg("node", q),
@@ -732,6 +936,8 @@ SimResult Machine::run() {
   const std::uint64_t stall_threshold =
       static_cast<std::uint64_t>(memory_latency_) + 16;
   std::uint64_t stall = 0;
+  const Value idle = sym().idle;
+  const auto t0 = std::chrono::steady_clock::now();
 
   for (now_ = 0; now_ < config_.max_steps; ++now_) {
     bool progress = false;
@@ -739,7 +945,8 @@ SimResult Machine::run() {
       if (he.cooldown > 0) --he.cooldown;
     }
     for (QuadId q = 0; q < config_.n_quads; ++q) {
-      for (const auto& ref : net_.queues_to(q)) {
+      net_.queues_to(q, queue_scratch_);
+      for (const auto& ref : queue_scratch_) {
         const SimMessage* msg = net_.front(ref);
         if (msg == nullptr) continue;
         progress |= deliver(q, ref, *msg);
@@ -751,7 +958,7 @@ SimResult Machine::run() {
     // Completion: nothing in flight, all nodes idle and out of work.
     bool all_done = net_.in_flight() == 0;
     for (const auto& n : nodes_) {
-      if (n.ncst != v_of("idle") || n.iocst != v_of("idle") ||
+      if (n.ncst != idle || n.iocst != idle ||
           !n.outbox.empty() || !n.scripted.empty() ||
           n.random_remaining > 0) {
         all_done = false;
@@ -788,6 +995,13 @@ SimResult Machine::run() {
     errors_.insert(errors_.end(), quiescent.begin(), quiescent.end());
   }
   result.errors = errors_;
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  counters_.events_per_sec =
+      result.seconds > 0
+          ? static_cast<std::uint64_t>(
+                static_cast<double>(counters_.events()) / result.seconds)
+          : 0;
   result.counters = counters();
 
   // Fold the per-run counters into the global metrics registry so a traced
@@ -799,6 +1013,13 @@ SimResult Machine::run() {
   CCSQL_COUNT("sim.table_misses", result.counters.table_misses);
   CCSQL_COUNT("sim.send_stalls", result.counters.send_stalls);
   CCSQL_COUNT("sim.ops_injected", result.counters.ops_injected);
+  CCSQL_COUNT("sim.events", result.counters.events());
+  CCSQL_COUNT("sim.cache_hits", result.counters.cache_hits);
+  CCSQL_COUNT("sim.cycles", result.counters.cycles);
+  CCSQL_COUNT("sim.run_us",
+              static_cast<std::uint64_t>(result.seconds * 1e6));
+  CCSQL_COUNT("sim.deadlocks", result.deadlocked ? 1 : 0);
+  CCSQL_COUNT("sim.stalled_runs", result.stalled ? 1 : 0);
   CCSQL_OBSERVE("sim.steps", result.steps);
 
   run_span.arg("steps", result.steps)
@@ -810,15 +1031,13 @@ SimResult Machine::run() {
 }
 
 SimCounters Machine::counters() const {
-  SimCounters c = counters_;
-  for (const TableIndex* idx :
-       {d_index_.get(), m_index_.get(), nc_index_.get(), cc_index_.get(),
-        rsn_index_.get(), ioc_index_.get()}) {
-    if (idx == nullptr) continue;
-    c.table_hits += idx->hits();
-    c.table_misses += idx->misses();
+  SimCounters out = counters_;
+  for (std::size_t c = 0; c < vc_sent_.size(); ++c) {
+    if (vc_sent_[c] == 0) continue;
+    out.per_vc_sent[net_.vc_value(static_cast<Network::VcCode>(c))] +=
+        vc_sent_[c];
   }
-  return c;
+  return out;
 }
 
 std::vector<std::string> Machine::check_quiescent_state() const {
@@ -1280,9 +1499,9 @@ std::array<std::uint64_t, 2> Machine::canonical_hash(
 
 bool Machine::quiescent() const {
   if (net_.in_flight() != 0) return false;
+  const Value idle = sym().idle;
   for (const auto& n : nodes_) {
-    if (n.ncst != v_of("idle") || n.iocst != v_of("idle") ||
-        !n.outbox.empty()) {
+    if (n.ncst != idle || n.iocst != idle || !n.outbox.empty()) {
       return false;
     }
   }

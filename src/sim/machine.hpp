@@ -11,8 +11,8 @@
 #include <vector>
 
 #include "protocol/protocol_spec.hpp"
+#include "sim/dispatch.hpp"
 #include "sim/network.hpp"
-#include "sim/table_index.hpp"
 #include "sim/types.hpp"
 
 namespace ccsql::sim {
@@ -24,15 +24,24 @@ struct SimResult {
   bool stalled = false;     // hit max_steps without completing
   std::uint64_t steps = 0;
   int transactions_done = 0;
+  /// Wall-clock duration of run() (throughput reporting only; every other
+  /// field is deterministic for a given config and seed).
+  double seconds = 0;
   /// Rows the tables could not cover (specification incompleteness) and
   /// coherence-monitor violations; empty on a healthy run.
   std::vector<std::string> errors;
   std::string deadlock_report;
-  /// Per-run event counters (messages per VC, table hits/misses, stalls).
+  /// Per-run event counters (messages per VC, table hits/misses, stalls,
+  /// cycle-model charges, events/sec).
   SimCounters counters;
 
   [[nodiscard]] bool healthy() const {
     return completed && !deadlocked && errors.empty();
+  }
+  /// Simulator events per wall-clock second (the scale-out throughput
+  /// metric; also stored in counters.events_per_sec).
+  [[nodiscard]] std::uint64_t events_per_sec() const {
+    return counters.events_per_sec;
   }
 };
 
@@ -72,10 +81,24 @@ class Machine {
     std::deque<std::pair<Value, Addr>> scripted;
     int random_remaining = 0;
     int done = 0;
+    /// Per-node phase counter driving the deterministic workload shapes
+    /// (Workload::kLock and friends); untouched by kRandom and by the
+    /// exploration interface, so state encodings need not carry it.
+    std::uint64_t wl_tick = 0;
   };
 
+  /// Compiles the controller tables privately (per-machine cost, as the
+  /// original TableIndex path paid; SimConfig::dense_dispatch picks the
+  /// lookup engine).
   Machine(const ProtocolSpec& spec, const ChannelAssignment& v,
           SimConfig config);
+
+  /// Shares a precompiled dispatch across machines — the sweep engine's
+  /// constructor: compilation is paid once, every run reuses it read-only.
+  /// `tables` must be dense-compiled (hashed mode owns mutable TableIndex
+  /// state) and must outlive the machine, as must the spec it came from.
+  Machine(const ProtocolSpec& spec, const ChannelAssignment& v,
+          SimConfig config, std::shared_ptr<const CompiledTables> tables);
 
   /// Pre-establishes a line's global state: `dirst` in {I, SI, MESI}, with
   /// the given holders (sharers for SI, the single owner for MESI).
@@ -86,9 +109,13 @@ class Machine {
   /// issued in order per node, each when the node controller is idle.
   void script(QuadId node, std::string_view op, Addr addr);
 
-  /// Enables the random workload: each node issues `transactions_per_node`
-  /// legal operations (from SimConfig).
-  void enable_random_workload();
+  /// Enables the configured workload shape (SimConfig::workload): each node
+  /// issues `transactions_per_node` legal operations.
+  void enable_workload();
+
+  /// Back-compat alias: enables the workload budget (the legacy name; the
+  /// shape actually generated is SimConfig::workload).
+  void enable_random_workload() { enable_workload(); }
 
   /// Extra scheduler steps the memory controller waits between messages
   /// (models memory latency; the Figure 4 interleaving needs a slow
@@ -196,7 +223,8 @@ class Machine {
     return net_.describe_blocked();
   }
 
-  /// Event counters so far (includes table-index hit/miss totals).
+  /// Event counters so far (hit/miss accounting is per-machine even when
+  /// the dispatch tables are shared).
   [[nodiscard]] SimCounters counters() const;
 
  private:
@@ -218,8 +246,23 @@ class Machine {
   Node& node(QuadId q) { return nodes_[static_cast<std::size_t>(q)]; }
   static Value enc_count(std::size_t n);
 
-  /// Snoop targets for the row being applied.
-  std::vector<QuadId> snoop_targets(const DirLine& l, QuadId requester) const;
+  /// Controller-table lookup with per-run hit/miss accounting (the
+  /// dispatch structures may be shared across machines, so the counters
+  /// live here, not there).
+  std::optional<std::size_t> lookup(const ControllerDispatch& t,
+                                    std::initializer_list<Value> key) {
+    auto row = t.find(key);
+    if (row) {
+      ++counters_.table_hits;
+    } else {
+      ++counters_.table_misses;
+    }
+    return row;
+  }
+
+  /// Snoop targets for the row being applied (fills snoop_scratch_).
+  const std::vector<QuadId>& snoop_targets(const DirLine& l,
+                                           QuadId requester);
 
   // -- controller steps (return true on progress) ----------------------------
   bool step_directory(QuadId q, const Network::QueueRef& ref,
@@ -256,9 +299,16 @@ class Machine {
   /// Transaction-generating operations legal for this node right now.
   [[nodiscard]] std::vector<std::pair<Value, Addr>> legal_ops(QuadId q) const;
 
+  /// Next (op, addr) for a deterministic workload shape (kLock etc.),
+  /// legality-adjusted against the node's current cache state.
+  [[nodiscard]] std::pair<Value, Addr> workload_op(QuadId q) const;
+
+  /// One random-workload (op, addr) draw; advances rng_.
+  [[nodiscard]] std::pair<Value, Addr> random_op(QuadId q);
+
   /// Applies a cache command via the CC table; returns the output message
   /// type (cack/cdata/cwbdata/hit/miss or NULL).
-  Value apply_cache(QuadId q, std::string_view cmd, Addr addr);
+  Value apply_cache(QuadId q, Value cmd, Addr addr);
 
   /// Applies a node-internal NC input (wbcancel / synthetic retry) via the
   /// NC table — no network message involved.
@@ -271,13 +321,11 @@ class Machine {
   SimConfig config_;
   Network net_;
   int memory_latency_ = 0;
+  int c2c_cost_ = 0;  // precomputed CycleModel::c2c_cycles(n_quads)
 
-  std::unique_ptr<TableIndex> d_index_;
-  std::unique_ptr<TableIndex> m_index_;
-  std::unique_ptr<TableIndex> nc_index_;
-  std::unique_ptr<TableIndex> cc_index_;
-  std::unique_ptr<TableIndex> rsn_index_;
-  std::unique_ptr<TableIndex> ioc_index_;
+  /// The compiled controller tables — shared read-only across a sweep's
+  /// machines, or privately compiled by the two-argument constructor.
+  std::shared_ptr<const CompiledTables> tables_;
 
   std::vector<HomeEngine> homes_;
   std::vector<Node> nodes_;
@@ -286,7 +334,17 @@ class Machine {
   std::vector<std::string> errors_;
   std::mt19937 rng_;
   SimCounters counters_;
+  /// Per-VC send counts by Network VC code; counters() folds these into
+  /// SimCounters::per_vc_sent (a map op per posted message is hot-path
+  /// cost the flat array avoids).
+  std::vector<std::uint64_t> vc_sent_;
   std::uint64_t now_ = 0;
+
+  // Reusable hot-path scratch (the scheduler loop is allocation-free in
+  // steady state; these only grow to high-water marks).
+  std::vector<Network::QueueRef> queue_scratch_;
+  std::vector<SimMessage> dir_out_;
+  std::vector<QuadId> snoop_scratch_;
 };
 
 }  // namespace ccsql::sim

@@ -6,53 +6,178 @@
 namespace ccsql::sim {
 
 Network::Network(const ChannelAssignment& v, int n_quads, int capacity)
-    : v_(&v), n_quads_(n_quads), capacity_(static_cast<std::size_t>(capacity)) {}
+    : v_(&v),
+      n_quads_(n_quads),
+      capacity_(static_cast<std::size_t>(capacity)),
+      vc_memo_(64),
+      vc_values_{Value{}},
+      dst_index_(static_cast<std::size_t>(n_quads)) {
+  // Register every channel up front: vc_for's codomain is channels(), so
+  // the code space — and with it every slot index — is fixed for the
+  // Network's lifetime.
+  for (const Value& vc : v.channels()) vc_values_.push_back(vc);
+  vc_cap_ = vc_values_.size();
+  rebuild_slots();
+}
 
 std::pair<Value, Value> Network::role_pair(const SimMessage& msg,
                                            QuadId /*home*/) const {
   return {msg.role_src, msg.role_dst};
 }
 
+Network::VcCode Network::code_of(const Value& vc) const {
+  for (std::size_t i = 0; i < vc_values_.size(); ++i) {
+    if (vc_values_[i] == vc) return static_cast<VcCode>(i);
+  }
+  return kNoCode;
+}
+
+void Network::vc_memo_grow() const {
+  std::vector<VcMemoEntry> bigger(vc_memo_.size() * 2);
+  const std::size_t mask = bigger.size() - 1;
+  for (const VcMemoEntry& e : vc_memo_) {
+    if (e.key_plus1 == 0) continue;
+    std::size_t i = static_cast<std::size_t>(e.key_plus1) & mask;
+    while (bigger[i].key_plus1 != 0) i = (i + 1) & mask;
+    bigger[i] = e;
+  }
+  vc_memo_ = std::move(bigger);
+}
+
+Network::VcCode Network::vc_code(const SimMessage& msg, QuadId home) const {
+  // Symbol ids are process-wide interning indices (far below 2^21), so the
+  // triple packs into one 64-bit memo key; +1 keeps 0 free as the
+  // empty-bucket marker.
+  const std::uint64_t key1 =
+      ((static_cast<std::uint64_t>(msg.type.id()) << 42) |
+       (static_cast<std::uint64_t>(msg.role_src.id()) << 21) |
+       msg.role_dst.id()) +
+      1;
+  const std::size_t mask = vc_memo_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(key1) & mask;
+  while (true) {
+    const VcMemoEntry& e = vc_memo_[i];
+    if (e.key_plus1 == key1) return e.code;
+    if (e.key_plus1 == 0) break;
+    i = (i + 1) & mask;
+  }
+  auto [rs, rd] = role_pair(msg, home);
+  const Value vc = v_->vc_for(msg.type, rs, rd).value_or(Value{});
+  const VcCode code = code_of(vc);  // always registered: see constructor
+  if (vc_memo_used_ * 2 >= vc_memo_.size()) {
+    vc_memo_grow();
+    const std::size_t m2 = vc_memo_.size() - 1;
+    i = static_cast<std::size_t>(key1) & m2;
+    while (vc_memo_[i].key_plus1 != 0) i = (i + 1) & m2;
+  }
+  vc_memo_[i] = VcMemoEntry{key1, code};
+  ++vc_memo_used_;
+  return code;
+}
+
 std::optional<Value> Network::vc_of(const SimMessage& msg,
                                     QuadId home) const {
-  auto [rs, rd] = role_pair(msg, home);
-  return v_->vc_for(msg.type, rs, rd);
+  const VcCode code = vc_code(msg, home);
+  if (code == 0) return std::nullopt;  // dedicated path
+  return vc_values_[code];
+}
+
+void Network::index_queue(State::iterator it) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(
+      slot_index(it->first.src, it->first.dst, code_of(it->first.vc)));
+  auto& list = dst_index_[static_cast<std::size_t>(it->first.dst)];
+  const auto pos = std::lower_bound(
+      list.begin(), list.end(), it,
+      [](const DstEntry& a, State::iterator b) { return a.it->first < b->first; });
+  list.insert(pos, DstEntry{it, slot});
+}
+
+void Network::rebuild_slots() {
+  for (const auto& [key, queue] : queues_) {
+    // A snapshot can only hold channels this network created, but stay
+    // safe against foreign states: register the stragglers.
+    if (code_of(key.vc) == kNoCode) vc_values_.push_back(key.vc);
+  }
+  if (vc_values_.size() > vc_cap_) vc_cap_ = vc_values_.size();
+  slots_.assign(static_cast<std::size_t>(n_quads_) *
+                    static_cast<std::size_t>(n_quads_) * vc_cap_,
+                nullptr);
+  slot_len_.assign(slots_.size(), 0);
+  dst_index_.assign(static_cast<std::size_t>(n_quads_), {});
+  for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(
+        slot_index(it->first.src, it->first.dst, code_of(it->first.vc)));
+    slots_[slot] = &it->second;
+    slot_len_[slot] = static_cast<std::uint32_t>(it->second.size());
+    // Map order is Key order, so plain append keeps each list sorted.
+    dst_index_[static_cast<std::size_t>(it->first.dst)].push_back(
+        DstEntry{it, slot});
+  }
+}
+
+std::deque<SimMessage>* Network::ref_queue(const QueueRef& q) const {
+  if (q.slot != kNoSlot) return slots_[q.slot];
+  const VcCode code = code_of(q.vc);
+  if (code == kNoCode) return nullptr;
+  return slots_[slot_index(q.src, q.dst, code)];
 }
 
 bool Network::can_send(const SimMessage& msg, QuadId home) const {
-  const auto vc = vc_of(msg, home);
-  if (!vc) return true;  // dedicated path, unbounded
-  auto it = queues_.find(Key{msg.src, msg.dst, *vc});
-  return it == queues_.end() || it->second.size() < capacity_;
+  const VcCode code = vc_code(msg, home);
+  if (code == 0) return true;  // dedicated path, unbounded
+  return slot_len_[slot_index(msg.src, msg.dst, code)] < capacity_;
+}
+
+void Network::send_coded(const SimMessage& msg, VcCode code) {
+  const std::size_t idx = slot_index(msg.src, msg.dst, code);
+  std::deque<SimMessage>* q = slots_[idx];
+  if (q == nullptr) {
+    const auto it = queues_
+                        .emplace(Key{msg.src, msg.dst, vc_values_[code]},
+                                 std::deque<SimMessage>{})
+                        .first;
+    index_queue(it);
+    q = &it->second;
+    slots_[idx] = q;
+  }
+  q->push_back(msg);
+  ++slot_len_[idx];
+  ++in_flight_;
 }
 
 void Network::send(const SimMessage& msg, QuadId home) {
-  const auto vc = vc_of(msg, home);
-  const Value channel = vc ? *vc : Value{};
-  queues_[Key{msg.src, msg.dst, channel}].push_back(msg);
-  ++in_flight_;
+  send_coded(msg, vc_code(msg, home));
 }
 
 std::vector<Network::QueueRef> Network::queues_to(QuadId dst) const {
   std::vector<QueueRef> out;
-  for (const auto& [key, queue] : queues_) {
-    if (key.dst == dst && !queue.empty()) {
-      out.push_back(QueueRef{key.src, key.dst, key.vc});
-    }
-  }
+  queues_to(dst, out);
   return out;
 }
 
+void Network::queues_to(QuadId dst, std::vector<QueueRef>& out) const {
+  out.clear();
+  for (const DstEntry& e : dst_index_[static_cast<std::size_t>(dst)]) {
+    if (slot_len_[e.slot] != 0) {
+      out.push_back(
+          QueueRef{e.it->first.src, e.it->first.dst, e.it->first.vc, e.slot});
+    }
+  }
+}
+
 const SimMessage* Network::front(const QueueRef& q) const {
-  auto it = queues_.find(Key{q.src, q.dst, q.vc});
-  if (it == queues_.end() || it->second.empty()) return nullptr;
-  return &it->second.front();
+  const std::deque<SimMessage>* queue = ref_queue(q);
+  if (queue == nullptr || queue->empty()) return nullptr;
+  return &queue->front();
 }
 
 void Network::pop(const QueueRef& q) {
-  auto it = queues_.find(Key{q.src, q.dst, q.vc});
-  if (it != queues_.end() && !it->second.empty()) {
-    it->second.pop_front();
+  std::deque<SimMessage>* queue = ref_queue(q);
+  if (queue != nullptr && !queue->empty()) {
+    queue->pop_front();
+    --slot_len_[q.slot != kNoSlot
+                    ? q.slot
+                    : slot_index(q.src, q.dst, code_of(q.vc))];
     --in_flight_;
   }
 }
@@ -61,6 +186,7 @@ void Network::set_state(State state) {
   queues_ = std::move(state);
   in_flight_ = 0;
   for (const auto& [key, queue] : queues_) in_flight_ += queue.size();
+  rebuild_slots();
 }
 
 std::string Network::describe_blocked() const {

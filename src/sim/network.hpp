@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "protocol/channel_assignment.hpp"
@@ -43,8 +45,19 @@ class Network {
     QuadId src;
     QuadId dst;
     Value vc;  // NULL for the dedicated-path queue
+    /// Internal O(1) queue handle, filled by queues_to.  Refs built by
+    /// hand (snapshot replay) leave the default; front/pop then resolve
+    /// the queue from (src, dst, vc).  Slot indices are stable: every VC
+    /// registers at construction, so the slot table never re-layouts.
+    std::uint32_t slot = kNoSlot;
   };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   [[nodiscard]] std::vector<QueueRef> queues_to(QuadId dst) const;
+
+  /// Allocation-free variant for the scheduler hot loop: clears `out` and
+  /// fills it with the non-empty queues addressed to `dst`, in the same
+  /// (src, vc) order as queues_to.
+  void queues_to(QuadId dst, std::vector<QueueRef>& out) const;
 
   [[nodiscard]] const SimMessage* front(const QueueRef& q) const;
   void pop(const QueueRef& q);
@@ -76,13 +89,94 @@ class Network {
   [[nodiscard]] const State& state() const noexcept { return queues_; }
   void set_state(State state);
 
+  /// Small-integer handle for a virtual channel: 0 is the dedicated
+  /// (NULL-channel) path, 1..k are assigned VCs in first-seen order.  The
+  /// code space is tiny (one per distinct VC symbol in the assignment), so
+  /// it indexes the dense queue-slot table below.
+  using VcCode = std::uint16_t;
+
+  /// The VC code of a message, registering the channel on first sight.
+  /// Memoized on the (type, role_src, role_dst) triple — the V table is
+  /// immutable during simulation.
+  [[nodiscard]] VcCode vc_code(const SimMessage& msg, QuadId home) const;
+
+  /// The channel Value for a code (null for code 0).
+  [[nodiscard]] const Value& vc_value(VcCode code) const {
+    return vc_values_[code];
+  }
+
+  /// Enqueue with a VC already resolved via vc_code — lets Machine::post
+  /// resolve the channel once per message instead of per Network call.
+  void send_coded(const SimMessage& msg, VcCode code);
+
  private:
+  /// Registers a newly-created queue in the per-destination index, keeping
+  /// each destination's list in Key order (delivery order must match map
+  /// iteration exactly).
+  void index_queue(State::iterator it);
+
+  /// Dense slot for (src, dst, code): pointer slot into slots_.  The deque
+  /// pointer is null until the queue's map entry exists.  Map entries are
+  /// never erased, so the pointers stay valid across sends.
+  [[nodiscard]] std::size_t slot_index(QuadId src, QuadId dst,
+                                       VcCode code) const {
+    return (static_cast<std::size_t>(src) * static_cast<std::size_t>(n_quads_) +
+            static_cast<std::size_t>(dst)) *
+               vc_cap_ +
+           code;
+  }
+
+  /// Code for a VC value that may be unknown (a QueueRef for a queue that
+  /// was never created); returns kNoCode then.
+  [[nodiscard]] VcCode code_of(const Value& vc) const;
+  static constexpr VcCode kNoCode = 0xffff;
+
+  /// Queue for a QueueRef, or nullptr when it was never created.
+  [[nodiscard]] std::deque<SimMessage>* ref_queue(const QueueRef& q) const;
+
+  /// Repopulates slots_ and dst_index_ from the queue map.  Called from
+  /// the constructor and set_state.
+  void rebuild_slots();
 
   const ChannelAssignment* v_;
   int n_quads_;
   std::size_t capacity_;
   State queues_;
   std::size_t in_flight_ = 0;
+
+  /// (type, role_src, role_dst) -> VC code, open-addressed with linear
+  /// probing (the triple space is tiny and the lookup runs multiple times
+  /// per message — a std::unordered_map find was measurable here).  The
+  /// stored key is the packed triple plus one, so 0 marks an empty bucket.
+  struct VcMemoEntry {
+    std::uint64_t key_plus1 = 0;
+    VcCode code = 0;
+  };
+  mutable std::vector<VcMemoEntry> vc_memo_;
+  mutable std::size_t vc_memo_used_ = 0;
+  void vc_memo_grow() const;
+
+  /// Code -> channel Value; index 0 is the dedicated NULL channel, the
+  /// rest are the assignment's channels() in order, registered up front so
+  /// slot indices stay stable for the Network's lifetime.
+  std::vector<Value> vc_values_;
+  std::size_t vc_cap_;  // slot-table stride, fixed at construction
+
+  /// (src, dst, code) -> queue, O(1); null until the queue exists.
+  mutable std::vector<std::deque<SimMessage>*> slots_;
+
+  /// Queue lengths parallel to slots_: occupancy checks in can_send and
+  /// queues_to read this contiguous array instead of chasing map nodes.
+  std::vector<std::uint32_t> slot_len_;
+
+  /// Per-destination (queue iterator, slot index) pairs in Key order:
+  /// queues_to scans only the destination's own queues and hands out O(1)
+  /// slot handles.
+  struct DstEntry {
+    State::iterator it;
+    std::uint32_t slot;
+  };
+  std::vector<std::vector<DstEntry>> dst_index_;
 };
 
 }  // namespace ccsql::sim

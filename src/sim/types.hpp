@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "relational/value.hpp"
@@ -38,6 +40,22 @@ struct SimMessage {
   }
 };
 
+/// Cycle-delay cost model (after the classic snooping-simulator numbers:
+/// 100 cycles to reach main memory, `4N + (P+1)` for a cache-to-cache
+/// block transfer of N words across P processors — the P+1 models the
+/// coordination overhead — 2 cycles per bus/interconnect transaction, and
+/// cache hits are free).  Every run charges these per event, so results
+/// report cycles and events/cycle alongside raw step counts.
+struct CycleModel {
+  int memory_cycles = 100;     // cache <-> main memory access
+  int bus_cycles = 2;          // per message placed on the interconnect
+  int words_per_line = 4;      // N in the cache-to-cache formula
+  /// Cache-to-cache block transfer: 4N + (P+1) for `quads` processors.
+  [[nodiscard]] int c2c_cycles(int quads) const noexcept {
+    return 4 * words_per_line + (quads + 1);
+  }
+};
+
 /// Always-on per-run event counters (plain increments, cheap enough for the
 /// hot path).  Flushed into the global ccsql::obs metrics at the end of a
 /// run and printed by `ccsql sim --metrics`.
@@ -48,12 +66,49 @@ struct SimCounters {
   std::uint64_t table_misses = 0;  // specification incompleteness
   std::uint64_t send_stalls = 0;   // consume deferred: an output channel full
   std::uint64_t ops_injected = 0;  // processor/device ops issued
+  std::uint64_t cache_hits = 0;    // ops completed locally (0 cycles)
+  // Cycle-cost breakdown (CycleModel); cycles is the sum of the parts.
+  std::uint64_t cycles = 0;
+  std::uint64_t mem_cycles = 0;    // 100-cycle memory accesses
+  std::uint64_t bus_cycles = 0;    // 2-cycle interconnect transactions
+  std::uint64_t c2c_cycles = 0;    // 4N+(P+1) cache-to-cache transfers
+  /// Per-run throughput, set by Machine::run() from wall time.  A *rate*:
+  /// deliberately not additive, so operator+= zeroes it — sweep aggregation
+  /// recomputes it from the merged events() and the sweep's wall clock.
+  std::uint64_t events_per_sec = 0;
   /// Messages sent per virtual channel; the NULL key is the dedicated path.
   std::map<Value, std::uint64_t> per_vc_sent;
+
+  /// Simulator events: every message enqueue/dequeue and every injected
+  /// operation — the unit the events/sec throughput figures count.
+  [[nodiscard]] std::uint64_t events() const noexcept {
+    return msgs_sent + msgs_recv + ops_injected;
+  }
+
+  /// Merges another run's counters (sweep aggregation).  All additive
+  /// fields sum; events_per_sec is reset to 0 (rates do not sum).
+  SimCounters& operator+=(const SimCounters& o);
 
   /// Aligned per-run table ("counter  value" lines, VC breakdown last).
   [[nodiscard]] std::string summary() const;
 };
+
+/// Workload shapes the simulator can generate (modeled on the classic
+/// adaptive-coherence test programs: a test-and-set lock, a producer/
+/// consumer hand-off, false sharing, and a streaming scan).  All are
+/// deterministic per (shape, node, tick) — only kRandom draws from the
+/// seeded RNG — so sweep results replay bit-identically.
+enum class Workload {
+  kRandom,            // the legacy seeded mixed workload
+  kLock,              // all nodes contend on a test-and-set lock line
+  kProducerConsumer,  // even nodes write a buffer ring, odd nodes read it
+  kFalseSharing,      // node pairs ping-pong writes on one shared line
+  kStreaming,         // sequential scans with no reuse
+};
+
+/// Workload name <-> enum (CLI / sweep grids).  Unknown names -> nullopt.
+std::optional<Workload> parse_workload(std::string_view name);
+std::string_view workload_name(Workload w);
 
 /// Simulation configuration.
 struct SimConfig {
@@ -75,6 +130,14 @@ struct SimConfig {
   /// names (directed exploration of a suspected interleaving, e.g.
   /// {"prd", "patomic"} for the Figure 4 memory-interference wedge).
   std::vector<std::string> workload_ops;
+  /// Workload shape driven by enable_workload() (kRandom reproduces the
+  /// legacy enable_random_workload behavior exactly).
+  Workload workload = Workload::kRandom;
+  /// Cycle-delay model charged per event into SimCounters.
+  CycleModel cycle_model;
+  /// Controller-table lookup engine: precompiled dense dispatch (the fast
+  /// path) vs the original hashed TableIndex (the differential baseline).
+  bool dense_dispatch = true;
   unsigned seed = 1;
 };
 

@@ -1,0 +1,147 @@
+#include "sim/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/asura/asura.hpp"
+#include "sim/machine.hpp"
+#include "sim/table_index.hpp"
+
+namespace ccsql::sim {
+namespace {
+
+const ProtocolSpec& spec() {
+  static const std::unique_ptr<ProtocolSpec> s = asura::make_asura();
+  return *s;
+}
+
+/// Dense dispatch must agree with TableIndex on every row of a controller
+/// table: same hit rows, same cell values through column handles.
+TEST(ControllerDispatch, DenseMatchesTableIndexOnEveryRow) {
+  const Table& cc = spec().database().catalog().get(asura::kCache);
+  const std::vector<std::string> keys = {"inmsg", "cst"};
+  ControllerDispatch dense(cc, keys, ControllerDispatch::Mode::kDense);
+  ControllerDispatch hashed(cc, keys, ControllerDispatch::Mode::kHashed);
+  ASSERT_TRUE(dense.dense());
+  ASSERT_FALSE(hashed.dense());
+
+  TableIndex oracle(cc, keys);
+  const auto d_nxt = dense.col("nxtcst");
+  const auto d_out = dense.col("outmsg");
+  const auto h_nxt = hashed.col("nxtcst");
+  const auto h_out = hashed.col("outmsg");
+
+  const ColumnView in_col = cc.column("inmsg");
+  const ColumnView st_col = cc.column("cst");
+  for (std::size_t r = 0; r < cc.row_count(); ++r) {
+    const Value in = in_col[r];
+    const Value st = st_col[r];
+    const auto dr = dense.find({in, st});
+    const auto hr = hashed.find({in, st});
+    const auto orc = oracle.find({in, st});
+    ASSERT_TRUE(dr.has_value());
+    ASSERT_TRUE(hr.has_value());
+    ASSERT_TRUE(orc.has_value());
+    EXPECT_EQ(*dr, *orc);
+    EXPECT_EQ(*hr, *orc);
+    EXPECT_EQ(dense.at(*dr, d_nxt), hashed.at(*hr, h_nxt));
+    EXPECT_EQ(dense.at(*dr, d_out), hashed.at(*hr, h_out));
+  }
+}
+
+TEST(ControllerDispatch, MissesAgree) {
+  const Table& cc = spec().database().catalog().get(asura::kCache);
+  ControllerDispatch dense(cc, {"inmsg", "cst"},
+                           ControllerDispatch::Mode::kDense);
+  TableIndex oracle(cc, {"inmsg", "cst"});
+  // A symbol that never appears in the key columns, and a legal symbol in
+  // the wrong column.
+  const Value nosuch = Symbol::intern("definitely-not-a-message");
+  const Value st = Symbol::intern("I");
+  EXPECT_FALSE(dense.find({nosuch, st}).has_value());
+  EXPECT_FALSE(oracle.find({nosuch, st}).has_value());
+  EXPECT_FALSE(dense.find({st, nosuch}).has_value());
+  EXPECT_FALSE(oracle.find({st, nosuch}).has_value());
+}
+
+TEST(CompiledTables, DenseIsSharedAcrossMachines) {
+  auto tables =
+      CompiledTables::compile(spec(), ControllerDispatch::Mode::kDense);
+  SimConfig cfg;
+  cfg.n_quads = 2;
+  cfg.n_addrs = 4;
+  cfg.channel_capacity = 2;
+  cfg.transactions_per_node = 10;
+  Machine a(spec(), spec().assignment(asura::kAssignV5Fix), cfg, tables);
+  Machine b(spec(), spec().assignment(asura::kAssignV5Fix), cfg, tables);
+  a.enable_workload();
+  b.enable_workload();
+  const SimResult ra = a.run();
+  const SimResult rb = b.run();
+  EXPECT_TRUE(ra.healthy());
+  EXPECT_TRUE(rb.healthy());
+  // Same compiled tables, same config, same seed: identical trajectories.
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+/// The differential replay at machine level: a dense-dispatch run and a
+/// hashed (TableIndex) run of the same configuration must make identical
+/// decisions — same final state fingerprint, same event counts, same cycle
+/// charges.  Only the dispatch-internal accounting (table hit counters are
+/// attributed per mode) and wall-clock rates may differ.
+void differential_replay(Workload wl, unsigned seed) {
+  SimConfig cfg;
+  cfg.n_quads = 4;
+  cfg.n_addrs = 8;
+  cfg.channel_capacity = 2;
+  cfg.transactions_per_node = 40;
+  cfg.workload = wl;
+  cfg.seed = seed;
+
+  cfg.dense_dispatch = true;
+  Machine dense(spec(), spec().assignment(asura::kAssignV5Fix), cfg);
+  cfg.dense_dispatch = false;
+  Machine hashed(spec(), spec().assignment(asura::kAssignV5Fix), cfg);
+
+  dense.set_memory_latency(3);
+  hashed.set_memory_latency(3);
+  dense.enable_workload();
+  hashed.enable_workload();
+
+  const SimResult rd = dense.run();
+  const SimResult rh = hashed.run();
+
+  ASSERT_TRUE(rd.healthy()) << "dense run unhealthy (wl="
+                            << workload_name(wl) << ")";
+  ASSERT_TRUE(rh.healthy()) << "hashed run unhealthy (wl="
+                            << workload_name(wl) << ")";
+  EXPECT_EQ(dense.fingerprint(), hashed.fingerprint());
+  EXPECT_EQ(rd.steps, rh.steps);
+  EXPECT_EQ(rd.transactions_done, rh.transactions_done);
+  EXPECT_EQ(rd.counters.msgs_sent, rh.counters.msgs_sent);
+  EXPECT_EQ(rd.counters.msgs_recv, rh.counters.msgs_recv);
+  EXPECT_EQ(rd.counters.ops_injected, rh.counters.ops_injected);
+  EXPECT_EQ(rd.counters.send_stalls, rh.counters.send_stalls);
+  EXPECT_EQ(rd.counters.cache_hits, rh.counters.cache_hits);
+  EXPECT_EQ(rd.counters.cycles, rh.counters.cycles);
+  EXPECT_EQ(rd.counters.mem_cycles, rh.counters.mem_cycles);
+  EXPECT_EQ(rd.counters.bus_cycles, rh.counters.bus_cycles);
+  EXPECT_EQ(rd.counters.c2c_cycles, rh.counters.c2c_cycles);
+  EXPECT_EQ(rd.counters.table_hits, rh.counters.table_hits);
+  EXPECT_EQ(rd.counters.table_misses, rh.counters.table_misses);
+  EXPECT_EQ(rd.counters.per_vc_sent, rh.counters.per_vc_sent);
+}
+
+TEST(DispatchDifferential, RandomWorkloadReplays) {
+  differential_replay(Workload::kRandom, 7);
+  differential_replay(Workload::kRandom, 1234);
+}
+
+TEST(DispatchDifferential, ShapedWorkloadsReplay) {
+  differential_replay(Workload::kLock, 7);
+  differential_replay(Workload::kProducerConsumer, 7);
+  differential_replay(Workload::kFalseSharing, 7);
+  differential_replay(Workload::kStreaming, 7);
+}
+
+}  // namespace
+}  // namespace ccsql::sim

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::uint64_t> instants;
   std::vector<std::pair<std::string, std::string>> counters;  // name, text
   std::map<std::string, double> serve;  // serve.* metric values
+  std::map<std::string, double> sim;    // sim.* metric values
   std::uint64_t events = 0;
   std::uint64_t bad_lines = 0;
 
@@ -128,11 +129,13 @@ int main(int argc, char** argv) {
         }
       }
       counters.emplace_back(name, text);
-      if (name.rfind("serve.", 0) == 0) {
+      const bool is_serve = name.rfind("serve.", 0) == 0;
+      const bool is_sim = name.rfind("sim.", 0) == 0;
+      if (is_serve || is_sim) {
         const auto& args = v.at("args").obj;
         if (auto it = args.find("value");
             it != args.end() && it->second.kind == JValue::Kind::kNumber) {
-          serve[name] = it->second.number;
+          (is_serve ? serve : sim)[name] = it->second.number;
         }
       }
     }
@@ -205,6 +208,33 @@ int main(int argc, char** argv) {
               << "  admission waits="
               << std::uint64_t(sv("serve.admission.waits")) << " ("
               << std::uint64_t(sv("serve.admission.wait_us")) << " us)\n";
+  }
+
+  // Simulator digest: run/event totals with the events/sec throughput the
+  // scale-out work is measured in, plus the sweep health counters.
+  if (!sim.empty()) {
+    auto mv = [&sim](const char* name) {
+      auto it = sim.find(name);
+      return it == sim.end() ? 0.0 : it->second;
+    };
+    const double run_us = mv("sim.run_us");
+    std::cout << "\nsim:\n  runs=" << std::uint64_t(mv("sim.runs"))
+              << "  events=" << std::uint64_t(mv("sim.events"));
+    if (run_us > 0) {
+      std::cout << " (" << std::uint64_t(mv("sim.events") / run_us * 1e6)
+                << " events/sec)";
+    }
+    std::cout << "  cycles=" << std::uint64_t(mv("sim.cycles"))
+              << "  deadlocks=" << std::uint64_t(mv("sim.deadlocks"))
+              << "  stalled=" << std::uint64_t(mv("sim.stalled_runs"))
+              << "  table_misses=" << std::uint64_t(mv("sim.table_misses"))
+              << "\n";
+    if (mv("sim.sweep_runs") > 0) {
+      std::cout << "  sweep runs=" << std::uint64_t(mv("sim.sweep_runs"))
+                << " deadlocked=" << std::uint64_t(mv("sim.sweep_deadlocks"))
+                << " stalled=" << std::uint64_t(mv("sim.sweep_stalled"))
+                << "\n";
+    }
   }
   return bad_lines > 0 ? 1 : 0;
 }
